@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! per-allocation stack walking vs O(1) encoding reads, guard-everything vs
+//! targeted guard pages, and hash vs linear patch lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ht_callgraph::{CallGraphBuilder, Strategy};
+use ht_defense::{DefendedBackend, DefenseConfig};
+use ht_encoding::{Encoder, InstrumentationPlan, Scheme, StackWalker};
+use ht_patch::{AllocFn, Patch, PatchTable};
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+use ht_simprog::Interpreter;
+
+fn chain_graph(depth: usize) -> (ht_callgraph::CallGraph, Vec<ht_callgraph::EdgeId>) {
+    let mut b = CallGraphBuilder::new();
+    let mut prev = b.func("main");
+    let mut edges = Vec::new();
+    for i in 0..depth {
+        let f = b.func(format!("f{i}"));
+        edges.push(b.call(prev, f));
+        prev = f;
+    }
+    let m = b.target("malloc");
+    edges.push(b.call(prev, m));
+    (b.build(), edges)
+}
+
+fn bench_walk_vs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_context_retrieval");
+    for depth in [8usize, 32, 128] {
+        let (g, edges) = chain_graph(depth);
+        let plan = InstrumentationPlan::build(&g, Strategy::Fcs, Scheme::Pcc);
+        group.bench_with_input(BenchmarkId::new("encoder_read", depth), &depth, |b, _| {
+            let mut enc = Encoder::new(&plan);
+            for &e in &edges {
+                enc.on_call(e);
+            }
+            b.iter(|| enc.current())
+        });
+        group.bench_with_input(BenchmarkId::new("stack_walk", depth), &depth, |b, _| {
+            let mut w = StackWalker::new();
+            for &e in &edges {
+                w.on_call(e);
+            }
+            b.iter(|| w.walk())
+        });
+    }
+    group.finish();
+}
+
+fn bench_guard_policy(c: &mut Criterion) {
+    let w = build_spec_workload(spec_bench("403.gcc").unwrap());
+    let plan = InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+    let input = w.input_for_allocs(2_000);
+    let mut group = c.benchmark_group("ablation_guard_policy");
+    group.sample_size(10);
+    group.bench_function("targeted_no_patches", |b| {
+        b.iter(|| {
+            let backend = DefendedBackend::new(DefenseConfig::default());
+            Interpreter::new(&w.program, &plan, backend).run(&input)
+        })
+    });
+    group.bench_function("guard_every_buffer", |b| {
+        b.iter(|| {
+            let cfg = DefenseConfig {
+                guard_all: true,
+                ..DefenseConfig::default()
+            };
+            let backend = DefendedBackend::new(cfg);
+            Interpreter::new(&w.program, &plan, backend).run(&input)
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let patches: Vec<Patch> = (0..64u64)
+        .map(|i| Patch::new(AllocFn::Malloc, i * 7919, ht_patch::VulnFlags::OVERFLOW))
+        .collect();
+    let table = PatchTable::from_patches(patches.clone());
+    let mut group = c.benchmark_group("ablation_patch_lookup");
+    group.bench_function("hash_table", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.lookup(AllocFn::Malloc, i)
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            patches
+                .iter()
+                .find(|p| p.alloc_fn == AllocFn::Malloc && p.ccid == i)
+                .map(|p| p.vuln)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walk_vs_encode,
+    bench_guard_policy,
+    bench_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §VIII-B1 — Criterion measurement of encoding-strategy runtime overhead.
+//!
+//! Benches the full interpreter run of representative SPEC models under the
+//! uninstrumented baseline and each strategy. The paper's result to
+//! reproduce: FCS is measurably slower than TCS/Slim/Incremental, which are
+//! nearly free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ht_callgraph::Strategy;
+use ht_encoding::{InstrumentationPlan, Scheme};
+use ht_simprog::interp::run_plain;
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+
+const ALLOCS: u64 = 5_000;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_overhead");
+    group.sample_size(20);
+    for name in ["400.perlbench", "403.gcc", "401.bzip2"] {
+        let w = build_spec_workload(spec_bench(name).unwrap());
+        let input = w.input_for_allocs(ALLOCS);
+        let baseline = InstrumentationPlan::uninstrumented(w.program.graph());
+        group.bench_with_input(BenchmarkId::new("none", name), &input, |b, input| {
+            b.iter(|| run_plain(&w.program, &baseline, input))
+        });
+        for strategy in Strategy::ALL {
+            let plan = InstrumentationPlan::build(w.program.graph(), strategy, Scheme::Pcc);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), name),
+                &input,
+                |b, input| b.iter(|| run_plain(&w.program, &plan, input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

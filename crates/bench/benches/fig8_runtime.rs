@@ -1,0 +1,44 @@
+//! Fig. 8 — Criterion measurement of online-system runtime overhead.
+//!
+//! Series per benchmark: native, interposition only, defended with 0/1/5
+//! patches (median-frequency contexts patched as overflow, the paper's
+//! methodology). Expected shape: a small, monotone overhead ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heaptherapy_core::{HeapTherapy, PipelineConfig};
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+
+const ALLOCS: u64 = 5_000;
+
+fn bench_fig8(c: &mut Criterion) {
+    let ht = HeapTherapy::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("fig8_runtime_overhead");
+    group.sample_size(15);
+    for name in ["400.perlbench", "403.gcc", "456.hmmer"] {
+        let w = build_spec_workload(spec_bench(name).unwrap());
+        let ip = ht.instrument(&w.program);
+        let input = w.input_for_allocs(ALLOCS);
+        let p1 = ht.hypothesized_patches(&ip, &input, 1);
+        let p5 = ht.hypothesized_patches(&ip, &input, 5);
+
+        group.bench_with_input(BenchmarkId::new("native", name), &input, |b, input| {
+            b.iter(|| ht.run_native(&ip, input))
+        });
+        group.bench_with_input(BenchmarkId::new("interpose", name), &input, |b, input| {
+            b.iter(|| ht.run_interposed(&ip, input))
+        });
+        group.bench_with_input(BenchmarkId::new("patch0", name), &input, |b, input| {
+            b.iter(|| ht.run_protected(&ip, input, &[]))
+        });
+        group.bench_with_input(BenchmarkId::new("patch1", name), &input, |b, input| {
+            b.iter(|| ht.run_protected(&ip, input, &p1))
+        });
+        group.bench_with_input(BenchmarkId::new("patch5", name), &input, |b, input| {
+            b.iter(|| ht.run_protected(&ip, input, &p5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 9 — memory overhead. Prints the RSS-proxy table once (memory is a
+//! deterministic quantity here, not a timing), then benches the defended
+//! run so regressions in the memory-tracking path show up as time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heaptherapy_core::{HeapTherapy, PipelineConfig};
+use ht_bench::fig9;
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+
+fn bench_fig9(c: &mut Criterion) {
+    // The actual figure: print once.
+    let rows = fig9::rows(2e-4);
+    println!(
+        "\nFig. 9 — memory overhead (RSS proxy), paper avg {:.1}%:",
+        fig9::PAPER_AVG
+    );
+    for r in &rows {
+        println!(
+            "  {:<16} native={:<10} defended={:<10} (+5 patches: {:<10}) {:+.1}%",
+            r.bench, r.native_rss, r.defended_rss, r.defended5_rss, r.pct
+        );
+    }
+    println!("  AVERAGE {:+.1}%\n", fig9::average(&rows));
+
+    let ht = HeapTherapy::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("fig9_memory_overhead");
+    group.sample_size(10);
+    for name in ["471.omnetpp", "403.gcc"] {
+        let w = build_spec_workload(spec_bench(name).unwrap());
+        let ip = ht.instrument(&w.program);
+        let input = w.input_for_allocs(5_000);
+        let p5 = ht.hypothesized_patches(&ip, &input, 5);
+        group.bench_with_input(BenchmarkId::new("defended5", name), &input, |b, input| {
+            b.iter(|| ht.run_protected(&ip, input, &p5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

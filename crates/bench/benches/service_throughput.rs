@@ -1,0 +1,36 @@
+//! §VIII-B2 — service throughput: Nginx/MySQL request loops, native vs
+//! defended (Criterion measures time per batch of requests; throughput is
+//! its inverse).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heaptherapy_core::{HeapTherapy, PipelineConfig};
+use ht_simprog::service::{build_service_workload, ServiceKind};
+
+const REQUESTS: u64 = 500;
+
+fn bench_services(c: &mut Criterion) {
+    let ht = HeapTherapy::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(REQUESTS));
+    for kind in [ServiceKind::Nginx, ServiceKind::Mysql] {
+        let w = build_service_workload(kind);
+        let ip = ht.instrument(&w.program);
+        let input = w.input_for_requests(REQUESTS);
+        let patches = ht.hypothesized_patches(&ip, &input, 1);
+        group.bench_with_input(
+            BenchmarkId::new("native", kind.name()),
+            &input,
+            |b, input| b.iter(|| ht.run_native(&ip, input)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("defended", kind.name()),
+            &input,
+            |b, input| b.iter(|| ht.run_protected(&ip, input, &patches)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_services);
+criterion_main!(benches);

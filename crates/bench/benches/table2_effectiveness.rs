@@ -1,0 +1,44 @@
+//! Table II — effectiveness. Prints the verdict table once (effectiveness
+//! is pass/fail, not a timing), then benches the cost of the offline
+//! pipeline itself: attack replay + patch generation, and the full cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heaptherapy_core::{HeapTherapy, PipelineConfig};
+use ht_bench::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = table2::rows();
+    println!("\nTable II — effectiveness:");
+    for r in &rows {
+        println!("  {}", r.table_row());
+    }
+    println!("  {}\n", table2::summary(&rows));
+    assert!(
+        rows.iter()
+            .all(|r| r.all_attacks_blocked && r.benign_ok && r.detection_correct()),
+        "Table II verdict regressed"
+    );
+
+    let ht = HeapTherapy::new(PipelineConfig::default());
+    let mut group = c.benchmark_group("table2_pipeline_cost");
+    group.sample_size(10);
+    for app in [
+        ht_vulnapps::heartbleed(),
+        ht_vulnapps::bc(),
+        ht_vulnapps::optipng(),
+    ] {
+        let ip = ht.instrument(&app.program);
+        group.bench_with_input(
+            BenchmarkId::new("offline_analysis", &app.name),
+            app.patching_input(),
+            |b, input| b.iter(|| ht.analyze_attack(&ip, input, &app.reference)),
+        );
+        group.bench_function(BenchmarkId::new("full_cycle", &app.name), |b| {
+            b.iter(|| ht.full_cycle(&app).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

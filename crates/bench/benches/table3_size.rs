@@ -1,0 +1,48 @@
+//! Table III — binary size increase. Prints the measured-vs-paper table
+//! once (a static quantity), then benches instrumentation-plan construction
+//! (the build-time cost of the paper's one-time LLVM pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ht_bench::table3;
+use ht_callgraph::Strategy;
+use ht_encoding::{InstrumentationPlan, Scheme};
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = table3::rows();
+    println!("\nTable III — size increase % (measured | paper):");
+    for r in &rows {
+        println!(
+            "  {:<16} {:>5.1} {:>5.1} {:>5.1} {:>5.1} | {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            r.bench,
+            r.measured[0],
+            r.measured[1],
+            r.measured[2],
+            r.measured[3],
+            r.paper[0],
+            r.paper[1],
+            r.paper[2],
+            r.paper[3]
+        );
+    }
+    let avg = table3::averages(&rows);
+    println!(
+        "  AVERAGE          {:>5.1} {:>5.1} {:>5.1} {:>5.1} | {:>6.2} {:>6.2} {:>6.2} {:>6.2}\n",
+        avg[0], avg[1], avg[2], avg[3], 12.0, 6.0, 4.5, 4.4
+    );
+
+    let mut group = c.benchmark_group("table3_plan_construction");
+    group.sample_size(30);
+    let w = build_spec_workload(spec_bench("403.gcc").unwrap());
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("build_plan", strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| InstrumentationPlan::build(w.program.graph(), s, Scheme::Pcc)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

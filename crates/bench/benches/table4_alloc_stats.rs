@@ -1,0 +1,43 @@
+//! Table IV — heap allocation statistics. Prints the replayed-vs-paper
+//! counts once, then benches the replay of the most allocation-intensive
+//! models (the workload generator's own cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ht_bench::table4;
+use ht_callgraph::Strategy;
+use ht_encoding::{InstrumentationPlan, Scheme};
+use ht_simprog::interp::run_plain;
+use ht_simprog::spec::{build_spec_workload, spec_bench};
+
+fn bench_table4(c: &mut Criterion) {
+    println!("\nTable IV — allocation statistics (paper | replayed at 1e-4 scale):");
+    for r in table4::rows(1e-4) {
+        println!(
+            "  {:<16} {:>11} {:>9} {:>10} | {:>8} {:>6} {:>6}",
+            r.bench,
+            r.paper[0],
+            r.paper[1],
+            r.paper[2],
+            r.replayed[0],
+            r.replayed[1],
+            r.replayed[2]
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("table4_workload_replay");
+    group.sample_size(10);
+    for name in ["400.perlbench", "471.omnetpp", "483.xalancbmk"] {
+        let w = build_spec_workload(spec_bench(name).unwrap());
+        let plan =
+            InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+        let input = w.input_for_allocs(10_000);
+        group.bench_with_input(BenchmarkId::new("replay", name), &input, |b, input| {
+            b.iter(|| run_plain(&w.program, &plan, input))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

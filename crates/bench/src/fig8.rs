@@ -1,0 +1,120 @@
+//! Fig. 8 — normalized execution-time overhead of the online system.
+//!
+//! Paper series on SPEC CPU2006: interposition only 1.9%, zero patches
+//! 4.3%, one patch 4.7%, five patches 5.2%. What must reproduce: the
+//! ordering native ≤ interpose ≤ 0-patch ≤ 1-patch ≤ 5-patch with small
+//! deltas, patched contexts actually exercised, and allocation-intensive
+//! models (perlbench-like) as the outliers.
+
+use crate::{overhead_pct, time_median};
+use heaptherapy_core::{HeapTherapy, PipelineConfig};
+use ht_simprog::spec::{build_spec_workload, spec_suite};
+
+/// Paper-reported averages: interpose, 0, 1, 5 patches (percent).
+pub const PAPER_AVG: [f64; 4] = [1.9, 4.3, 4.7, 5.2];
+
+/// One benchmark's Fig. 8 measurements.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Overhead over native, percent: `[interpose, 0, 1, 5 patches]`.
+    pub pct: [f64; 4],
+    /// Patch-table hits during the 1-patch and 5-patch runs.
+    pub hits: [u64; 2],
+    /// Guard pages installed during the 5-patch run.
+    pub guard_pages5: u64,
+}
+
+/// Regenerates Fig. 8.
+///
+/// Each benchmark replays `fraction` of its Table IV allocation volume (the
+/// paper runs each benchmark's natural workload — allocation-poor
+/// benchmarks like bzip2 allocate almost nothing and show ~zero overhead);
+/// wall time is the median of `samples` runs. Patch selection follows the
+/// paper: the median-frequency allocation contexts, patched as
+/// overflow-vulnerable.
+pub fn rows(fraction: f64, samples: usize) -> Vec<Fig8Row> {
+    let ht = HeapTherapy::new(PipelineConfig::default());
+    spec_suite()
+        .into_iter()
+        .map(|bench| {
+            let w = build_spec_workload(bench);
+            let ip = ht.instrument(&w.program);
+            let mut input = w.input_for_fraction(fraction);
+            // Floor the run length so wall-clock medians are not dominated
+            // by microsecond-scale noise on allocation-poor benchmarks.
+            input[0] = input[0].max(200);
+            let p1 = ht.hypothesized_patches(&ip, &input, 1);
+            let p5 = ht.hypothesized_patches(&ip, &input, 5);
+
+            let t_native = time_median(samples, || {
+                ht.run_native(&ip, &input);
+            });
+            let t_interpose = time_median(samples, || {
+                ht.run_interposed(&ip, &input);
+            });
+            let t_p0 = time_median(samples, || {
+                ht.run_protected(&ip, &input, &[]);
+            });
+            let t_p1 = time_median(samples, || {
+                ht.run_protected(&ip, &input, &p1);
+            });
+            let t_p5 = time_median(samples, || {
+                ht.run_protected(&ip, &input, &p5);
+            });
+
+            let r1 = ht.run_protected(&ip, &input, &p1);
+            let r5 = ht.run_protected(&ip, &input, &p5);
+
+            Fig8Row {
+                bench: bench.name,
+                pct: [
+                    overhead_pct(t_native, t_interpose),
+                    overhead_pct(t_native, t_p0),
+                    overhead_pct(t_native, t_p1),
+                    overhead_pct(t_native, t_p5),
+                ],
+                hits: [r1.stats.table_hits, r5.stats.table_hits],
+                guard_pages5: r5.stats.guard_pages,
+            }
+        })
+        .collect()
+}
+
+/// Column averages of the overhead percentages.
+pub fn averages(rows: &[Fig8Row]) -> [f64; 4] {
+    let mut avg = [0.0; 4];
+    for r in rows {
+        for (a, &p) in avg.iter_mut().zip(&r.pct) {
+            *a += p;
+        }
+    }
+    for a in &mut avg {
+        *a /= rows.len().max(1) as f64;
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patched_contexts_are_exercised_and_protected_runs_complete() {
+        // Timing assertions are meaningless in debug builds; verify the
+        // structural half of Fig. 8: patches land on live contexts, guard
+        // pages go up, and the runs complete. Only allocation-rich models
+        // are asserted (bzip2 at natural volume allocates a handful).
+        let rows = rows(2e-6, 1);
+        assert_eq!(rows.len(), 12);
+        for r in rows
+            .iter()
+            .filter(|r| ["400.perlbench", "471.omnetpp", "483.xalancbmk"].contains(&r.bench))
+        {
+            assert!(r.hits[0] > 0, "{}: 1-patch run hit nothing", r.bench);
+            assert!(r.hits[1] >= r.hits[0], "{}", r.bench);
+            assert!(r.guard_pages5 > 0, "{}", r.bench);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Experiment harness: regenerates every table and figure of the
+//! HeapTherapy+ evaluation (paper Section VIII).
+//!
+//! Each `expN` module produces the rows of one paper artifact; the
+//! `reproduce` binary prints them next to the paper's reported numbers, and
+//! the Criterion benches in `benches/` measure the timing-based ones
+//! statistically. Absolute numbers differ from the paper (the substrate is a
+//! simulator, not the authors' Xeon) — the *shape* is what reproduces.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — instrumentation of the example graph |
+//! | [`table1`] | Table I — buffer structure selection |
+//! | [`table2`] | Table II — effectiveness on the vulnerable programs |
+//! | [`table3`] | Table III — binary size increase per encoding |
+//! | [`table4`] | Table IV — SPEC heap allocation statistics |
+//! | [`encoding`] | §VIII-B1 — encoding runtime overhead |
+//! | [`fig8`] | Fig. 8 — runtime overhead vs. patch count |
+//! | [`fig9`] | Fig. 9 — memory overhead |
+//! | [`services`] | §VIII-B2 — Nginx/MySQL throughput |
+//! | [`ablation`] | design-choice ablations (stack walking, guard-all, quota, lookup) |
+
+pub mod ablation;
+pub mod encoding;
+pub mod fig2;
+pub mod fig8;
+pub mod fig9;
+pub mod services;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use std::time::Instant;
+
+/// Median-of-`n` wall-time measurement of `f`, in seconds.
+pub fn time_median<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..n.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Percent overhead of `x` over baseline `base`.
+pub fn overhead_pct(base: f64, x: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (x - base) / base
+}

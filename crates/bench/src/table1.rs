@@ -1,0 +1,50 @@
+//! Table I — which buffer structure serves which vulnerability combination.
+
+use ht_defense::BufferStructure;
+use ht_patch::{AllocFn, VulnFlags};
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The vulnerability-type combination.
+    pub vuln: VulnFlags,
+    /// Structure for plain (`malloc`/`calloc`/`realloc`) buffers.
+    pub plain: BufferStructure,
+    /// Structure for aligned (`memalign`) buffers.
+    pub aligned: BufferStructure,
+    /// Whether frees go through the deferred-free queue.
+    pub deferred_free: bool,
+    /// Whether the buffer is zero-initialized.
+    pub zero_init: bool,
+}
+
+/// All eight vulnerability combinations.
+pub fn rows() -> Vec<Table1Row> {
+    (0..8u8)
+        .map(VulnFlags::from_bits_truncate)
+        .map(|vuln| Table1Row {
+            vuln,
+            plain: BufferStructure::select(AllocFn::Malloc, vuln),
+            aligned: BufferStructure::select(AllocFn::Memalign, vuln),
+            deferred_free: vuln.contains(VulnFlags::USE_AFTER_FREE),
+            zero_init: vuln.contains(VulnFlags::UNINIT_READ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_consistent_with_selection() {
+        let rows = rows();
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert_eq!(r.plain.has_guard(), r.vuln.contains(VulnFlags::OVERFLOW));
+            assert_eq!(r.aligned.has_guard(), r.plain.has_guard());
+            assert!(r.aligned.is_aligned());
+            assert!(!r.plain.is_aligned());
+        }
+    }
+}

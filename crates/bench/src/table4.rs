@@ -1,0 +1,66 @@
+//! Table IV — SPEC CPU2006 heap allocation statistics.
+//!
+//! The models replay the paper's per-API allocation mix at a configurable
+//! fraction of the original volume; this module verifies the replayed
+//! counts and prints them against the paper's.
+
+use ht_callgraph::Strategy;
+use ht_encoding::{InstrumentationPlan, Scheme};
+use ht_simprog::interp::run_plain;
+use ht_simprog::spec::{build_spec_workload, spec_suite};
+
+/// One row: paper counts and replayed counts.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Paper `malloc` / `calloc` / `realloc` counts.
+    pub paper: [u64; 3],
+    /// Replayed counts at the requested fraction.
+    pub replayed: [u64; 3],
+}
+
+/// Replays each benchmark at `fraction` of its Table IV volume.
+pub fn rows(fraction: f64) -> Vec<Table4Row> {
+    spec_suite()
+        .into_iter()
+        .map(|bench| {
+            let w = build_spec_workload(bench);
+            let plan =
+                InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+            let rep = run_plain(&w.program, &plan, &w.input_for_fraction(fraction));
+            Table4Row {
+                bench: bench.name,
+                paper: [bench.mallocs, bench.callocs, bench.reallocs],
+                replayed: [rep.allocs.malloc, rep.allocs.calloc, rep.allocs.realloc],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_mix_tracks_the_paper() {
+        for r in rows(2e-6) {
+            // Whichever API dominates in the paper dominates in the replay.
+            let paper_max = (0..3).max_by_key(|&i| r.paper[i]).unwrap();
+            let replay_max = (0..3).max_by_key(|&i| r.replayed[i]).unwrap();
+            let total: u64 = r.replayed.iter().sum();
+            assert!(total > 0, "{}", r.bench);
+            if r.paper[paper_max] > 10 * r.paper.iter().sum::<u64>() / 20 {
+                assert_eq!(paper_max, replay_max, "{}: {:?}", r.bench, r.replayed);
+            }
+            // APIs unused in the paper stay unused in the replay (modulo the
+            // malloc piggyback of realloc contexts).
+            if r.paper[1] == 0 {
+                assert_eq!(r.replayed[1], 0, "{}: spurious callocs", r.bench);
+            }
+            if r.paper[2] == 0 {
+                assert_eq!(r.replayed[2], 0, "{}: spurious reallocs", r.bench);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Graphviz DOT export for call graphs and instrumentation sets.
+//!
+//! Useful for debugging instrumentation decisions: instrumented call sites
+//! are drawn solid, pruned ones dashed; target functions are drawn as boxes.
+
+use crate::graph::CallGraph;
+use crate::strategy::EdgeSet;
+use std::fmt::Write as _;
+
+/// Renders `graph` as a DOT digraph.
+///
+/// When `instrumented` is provided, edges in the set are solid black and the
+/// rest are dashed gray — mirroring the paper's Figure 2 presentation.
+pub fn to_dot(graph: &CallGraph, instrumented: Option<&EdgeSet>) -> String {
+    let mut s = String::new();
+    s.push_str("digraph callgraph {\n");
+    s.push_str("  rankdir=TB;\n");
+    for f in graph.func_ids() {
+        let info = graph.func(f);
+        let shape = if info.is_target { "box" } else { "ellipse" };
+        let _ = writeln!(s, "  {} [label=\"{}\", shape={}];", f, info.name, shape);
+    }
+    for e in graph.edge_ids() {
+        let info = graph.edge(e);
+        let style = match instrumented {
+            Some(set) if !set.contains(e) => " [style=dashed, color=gray]",
+            _ => "",
+        };
+        let _ = writeln!(s, "  {} -> {}{};", info.caller, info.callee, style);
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraphBuilder;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = CallGraphBuilder::new();
+        let main = b.func("main");
+        let m = b.target("malloc");
+        b.call(main, m);
+        let g = b.build();
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("digraph callgraph"));
+        assert!(dot.contains("label=\"main\""));
+        assert!(dot.contains("label=\"malloc\", shape=box"));
+        assert!(dot.contains("f0 -> f1;"));
+    }
+
+    #[test]
+    fn pruned_edges_are_dashed() {
+        let mut b = CallGraphBuilder::new();
+        let main = b.func("main");
+        let dead = b.func("dead");
+        let m = b.target("malloc");
+        b.call(main, m);
+        b.call(main, dead);
+        let g = b.build();
+        let set = Strategy::Tcs.select(&g);
+        let dot = to_dot(&g, Some(&set));
+        assert!(dot.contains("f0 -> f2;"), "instrumented edge solid: {dot}");
+        assert!(
+            dot.contains("f0 -> f1 [style=dashed, color=gray];"),
+            "pruned edge dashed: {dot}"
+        );
+    }
+}

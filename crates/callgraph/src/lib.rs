@@ -1,0 +1,47 @@
+//! Call graphs and targeted instrumentation-site selection for HeapTherapy+.
+//!
+//! This crate implements the static-analysis half of *targeted calling-context
+//! encoding* (HeapTherapy+, DSN 2019, Section IV): given a program call graph
+//! and a set of **target functions** (for heap patching: the allocation APIs
+//! `malloc`, `calloc`, `realloc`, `memalign`, ...), decide which call sites
+//! must be instrumented so that distinct calling contexts of the targets
+//! receive distinct encodings.
+//!
+//! Four strategies are provided, strictly non-increasing in instrumentation
+//! size:
+//!
+//! * [`Strategy::Fcs`] — Full-Call-Site: every call site (the baseline used by
+//!   PCC/PCCE/DeltaPath).
+//! * [`Strategy::Tcs`] — Targeted-Call-Site: only call sites that can reach a
+//!   target function (Section IV-A).
+//! * [`Strategy::Slim`] — additionally skip call sites in *non-branching*
+//!   nodes (Section IV-B).
+//! * [`Strategy::Incremental`] — additionally skip *false* branching nodes by
+//!   keying contexts with `(target_fun, CCID)` pairs (Section IV-C,
+//!   Algorithm 1).
+//!
+//! # Example
+//!
+//! ```
+//! use ht_callgraph::{CallGraphBuilder, Strategy};
+//!
+//! let mut b = CallGraphBuilder::new();
+//! let main = b.func("main");
+//! let work = b.func("work");
+//! let malloc = b.target("malloc");
+//! let e1 = b.call(main, work);
+//! let e2 = b.call(work, malloc);
+//! let g = b.build();
+//!
+//! let sites = Strategy::Tcs.select(&g);
+//! assert!(sites.contains(e1) && sites.contains(e2));
+//! ```
+
+pub mod dot;
+pub mod graph;
+pub mod reach;
+pub mod strategy;
+
+pub use graph::{CallGraph, CallGraphBuilder, EdgeId, EdgeInfo, FuncId, FuncInfo};
+pub use reach::Reachability;
+pub use strategy::{enumerate_contexts, EdgeSet, Strategy};

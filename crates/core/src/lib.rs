@@ -1,0 +1,43 @@
+//! The HeapTherapy+ pipeline: instrument → replay attack offline → generate
+//! patches → deploy code-lessly → run protected.
+//!
+//! This crate is the system of the paper's Fig. 1, wired end-to-end:
+//!
+//! 1. **Program instrumentation** ([`HeapTherapy::instrument`]) — builds the
+//!    targeted calling-context-encoding plan for the program's call graph.
+//! 2. **Offline patch generation** ([`HeapTherapy::analyze_attack`]) —
+//!    replays an attack input under the shadow-memory analyzer and folds the
+//!    warnings into `{FUN, CCID, T}` patches.
+//! 3. **Code-less deployment** — patches are written to a configuration
+//!    file and read back (never touching the program), exactly as the
+//!    online defense generator would at startup.
+//! 4. **Online defense** ([`HeapTherapy::run_protected`]) — the same
+//!    program runs over the defended allocator; only buffers whose
+//!    `(FUN, CCID)` hits the table are enhanced.
+//!
+//! [`HeapTherapy::full_cycle`] performs the whole loop against a
+//! [`ht_vulnapps::VulnApp`] and verifies the paper's Table II claims: the
+//! attack works undefended, the analyzer identifies the right vulnerability
+//! type, and the deployed patch defeats fresh attack instances while benign
+//! inputs run unharmed.
+//!
+//! # Example
+//!
+//! ```
+//! use heaptherapy_core::{HeapTherapy, PipelineConfig};
+//!
+//! let ht = HeapTherapy::new(PipelineConfig::default());
+//! let cycle = ht.full_cycle(&ht_vulnapps::heartbleed()).expect("pipeline runs");
+//! assert!(cycle.undefended_attack_succeeded);
+//! assert!(cycle.detected.contains(ht_patch::VulnFlags::UNINIT_READ));
+//! assert!(cycle.all_attacks_blocked);
+//! assert!(cycle.benign_ok);
+//! ```
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{
+    AnalysisReport, CycleReport, HeapTherapy, InstrumentedProgram, PipelineConfig, ProtectedRun,
+};
+pub use report::{incident_report, IncidentReport, PatchReport};

@@ -1,0 +1,600 @@
+//! Pipeline orchestration.
+
+use ht_callgraph::Strategy;
+use ht_defense::{DefendedBackend, DefenseConfig, DefenseStats};
+use ht_encoding::{InstrumentationPlan, Scheme};
+use ht_patch::{from_config_text, to_config_text, AllocFn, Patch, PatchTable, VulnFlags};
+use ht_shadow::{ShadowBackend, ShadowConfig, Warning};
+use ht_simprog::{Interpreter, Limits, PlainBackend, Program, RunReport};
+use ht_vulnapps::VulnApp;
+use std::fmt;
+
+/// Pipeline-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Instrumentation-site selection strategy (paper default: the most
+    /// optimized, Incremental).
+    pub strategy: Strategy,
+    /// Encoding scheme (paper uses PCC).
+    pub scheme: Scheme,
+    /// Offline analyzer configuration.
+    pub shadow: ShadowConfig,
+    /// Online deferred-free quota.
+    pub defense_quota: u64,
+    /// Interpreter limits for every run.
+    pub limits: Limits,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::Incremental,
+            scheme: Scheme::Pcc,
+            shadow: ShadowConfig::default(),
+            defense_quota: 2 * 1024 * 1024 * 1024,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A program together with its instrumentation plan — the output of the
+/// paper's one-time Program Instrumentation Tool.
+#[derive(Debug)]
+pub struct InstrumentedProgram<'p> {
+    /// The (unmodified) program.
+    pub program: &'p Program,
+    /// The encoding plan its binary would carry.
+    pub plan: InstrumentationPlan,
+}
+
+/// Output of one offline attack replay.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Everything the analyzer flagged.
+    pub warnings: Vec<Warning>,
+    /// The generated patches.
+    pub patches: Vec<Patch>,
+    /// The replay's run report.
+    pub run: RunReport,
+}
+
+/// Output of one protected (online) run.
+#[derive(Debug)]
+pub struct ProtectedRun {
+    /// The run report.
+    pub report: RunReport,
+    /// Defense-side counters.
+    pub stats: DefenseStats,
+}
+
+/// Verdict of a full patch-generation/deployment cycle on one vulnerable
+/// application (one row of Table II).
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Application name.
+    pub app: String,
+    /// CVE / dataset reference.
+    pub reference: String,
+    /// Ground-truth vulnerability class.
+    pub expected: VulnFlags,
+    /// Union of the vulnerability bits across generated patches.
+    pub detected: VulnFlags,
+    /// How many patches were generated.
+    pub patches_generated: usize,
+    /// The configuration-file content that deployed them.
+    pub config_text: String,
+    /// Whether the first attack input succeeded on the undefended program.
+    pub undefended_attack_succeeded: bool,
+    /// Whether every attack input was defeated under the deployed patches.
+    pub all_attacks_blocked: bool,
+    /// Whether every benign input completed cleanly under the patches.
+    pub benign_ok: bool,
+}
+
+impl CycleReport {
+    /// Whether the analyzer found (at least) the ground-truth class.
+    pub fn detection_correct(&self) -> bool {
+        self.detected.contains(self.expected)
+    }
+
+    /// One row of the Table II reproduction.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<28} {:<16} expected={:<9} detected={:<9} patches={} blocked={} benign_ok={}",
+            self.app,
+            self.reference,
+            self.expected.to_string(),
+            self.detected.to_string(),
+            self.patches_generated,
+            self.all_attacks_blocked,
+            self.benign_ok
+        )
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+/// Error from [`HeapTherapy::full_cycle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The offline analyzer produced no patches for the attack input.
+    NoPatchesGenerated(String),
+    /// The patch configuration failed to round-trip.
+    ConfigRoundTrip(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoPatchesGenerated(app) => {
+                write!(f, "no patches generated for {app}")
+            }
+            PipelineError::ConfigRoundTrip(e) => write!(f, "config round-trip failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The HeapTherapy+ system.
+#[derive(Debug, Clone, Default)]
+pub struct HeapTherapy {
+    cfg: PipelineConfig,
+}
+
+impl HeapTherapy {
+    /// A pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// One-time program instrumentation.
+    pub fn instrument<'p>(&self, program: &'p Program) -> InstrumentedProgram<'p> {
+        InstrumentedProgram {
+            program,
+            plan: InstrumentationPlan::build(program.graph(), self.cfg.strategy, self.cfg.scheme),
+        }
+    }
+
+    /// Runs the program natively (no interposition, no defenses).
+    pub fn run_native(&self, ip: &InstrumentedProgram<'_>, input: &[u64]) -> RunReport {
+        Interpreter::new(ip.program, &ip.plan, PlainBackend::new())
+            .with_limits(self.cfg.limits)
+            .run(input)
+    }
+
+    /// Runs with allocation interposition only (Fig. 8 "interposition").
+    pub fn run_interposed(&self, ip: &InstrumentedProgram<'_>, input: &[u64]) -> ProtectedRun {
+        let backend = DefendedBackend::new(DefenseConfig::interpose_only());
+        let mut interp =
+            Interpreter::new(ip.program, &ip.plan, backend).with_limits(self.cfg.limits);
+        let report = interp.run(input);
+        ProtectedRun {
+            report,
+            stats: interp.backend().stats(),
+        }
+    }
+
+    /// Offline phase: replays `input` under the shadow analyzer and
+    /// generates patches attributed to `origin`.
+    pub fn analyze_attack(
+        &self,
+        ip: &InstrumentedProgram<'_>,
+        input: &[u64],
+        origin: &str,
+    ) -> AnalysisReport {
+        let backend = ShadowBackend::with_config(self.cfg.shadow);
+        let mut interp =
+            Interpreter::new(ip.program, &ip.plan, backend).with_limits(self.cfg.limits);
+        let run = interp.run(input);
+        let shadow = interp.into_backend();
+        AnalysisReport {
+            warnings: shadow.warnings().to_vec(),
+            patches: shadow.generate_patches(origin),
+            run,
+        }
+    }
+
+    /// Online phase: runs under the defended allocator with `patches`
+    /// deployed.
+    pub fn run_protected(
+        &self,
+        ip: &InstrumentedProgram<'_>,
+        input: &[u64],
+        patches: &[Patch],
+    ) -> ProtectedRun {
+        let mut cfg = DefenseConfig::with_table(PatchTable::from_patches(patches.to_vec()));
+        cfg.quarantine_quota = self.cfg.defense_quota;
+        let backend = DefendedBackend::new(cfg);
+        let mut interp =
+            Interpreter::new(ip.program, &ip.plan, backend).with_limits(self.cfg.limits);
+        let report = interp.run(input);
+        ProtectedRun {
+            report,
+            stats: interp.backend().stats(),
+        }
+    }
+
+    /// §IX: replays the attack in `n` executions, each deferring only the
+    /// buffers whose allocation-time CCID falls in its subspace, and merges
+    /// the patches — the memory-bounded variant of [`Self::analyze_attack`]
+    /// for programs whose free churn would drain the quarantine quota.
+    pub fn analyze_attack_partitioned(
+        &self,
+        ip: &InstrumentedProgram<'_>,
+        input: &[u64],
+        origin: &str,
+        n: u64,
+    ) -> AnalysisReport {
+        let mut warnings = Vec::new();
+        let mut merged: Vec<Patch> = Vec::new();
+        let mut last_run = None;
+        for index in 0..n.max(1) {
+            let mut cfg = self.cfg.shadow;
+            cfg.partition = Some(ht_shadow::CcidPartition {
+                index,
+                of: n.max(1),
+            });
+            let backend = ShadowBackend::with_config(cfg);
+            let mut interp =
+                Interpreter::new(ip.program, &ip.plan, backend).with_limits(self.cfg.limits);
+            last_run = Some(interp.run(input));
+            let shadow = interp.into_backend();
+            warnings.extend(shadow.warnings().iter().cloned());
+            merged.extend(shadow.generate_patches(origin));
+        }
+        // Merge duplicate keys (overflow/UR warnings repeat every replay).
+        let table = PatchTable::from_patches(merged);
+        let mut patches: Vec<Patch> = table
+            .iter()
+            .map(|(fun, ccid, vuln)| Patch::new(fun, ccid, vuln).with_origin(origin))
+            .collect();
+        patches.sort_by_key(|p| (p.alloc_fn, p.ccid));
+        AnalysisReport {
+            warnings,
+            patches,
+            run: last_run.expect("n >= 1 replay ran"),
+        }
+    }
+
+    /// §IX: the defense-generation *cycle* for vulnerabilities exploitable
+    /// through multiple calling contexts. Each round deploys the patches
+    /// gathered so far, retries every attack input, and analyzes the first
+    /// input that still succeeds — "whenever the attack exploits a buffer
+    /// allocated in a new calling context, our system simply treats it as a
+    /// new vulnerability and starts another defense generation cycle."
+    ///
+    /// Returns the accumulated patches and the number of rounds taken.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoPatchesGenerated`] if an attack keeps succeeding
+    /// but the analyzer finds nothing new to patch (would loop forever).
+    pub fn iterative_cycle(
+        &self,
+        app: &VulnApp,
+        max_rounds: usize,
+    ) -> Result<(Vec<Patch>, usize), PipelineError> {
+        let ip = self.instrument(&app.program);
+        let mut deployed: Vec<Patch> = Vec::new();
+        for round in 1..=max_rounds {
+            let breached = app.attack_inputs.iter().find(|input| {
+                let run = self.run_protected(&ip, input, &deployed);
+                app.attack_succeeded(&run.report)
+            });
+            let Some(input) = breached else {
+                return Ok((deployed, round - 1));
+            };
+            let analysis = self.analyze_attack(&ip, input, &app.reference);
+            let before = PatchTable::from_patches(deployed.clone());
+            let fresh: Vec<Patch> = analysis
+                .patches
+                .into_iter()
+                .filter(|p| {
+                    before
+                        .lookup(p.alloc_fn, p.ccid)
+                        .is_none_or(|v| !v.contains(p.vuln))
+                })
+                .collect();
+            if fresh.is_empty() {
+                return Err(PipelineError::NoPatchesGenerated(format!(
+                    "{} (round {round}: attack persists, nothing new found)",
+                    app.name
+                )));
+            }
+            deployed.extend(fresh);
+        }
+        // Out of rounds with an attack still breaching.
+        Err(PipelineError::NoPatchesGenerated(format!(
+            "{} (attack persists after {max_rounds} rounds)",
+            app.name
+        )))
+    }
+
+    /// Fig. 8's hypothesized patches: rank the program's allocation-time
+    /// CCIDs by frequency (profiling run on `input`), take the `n`
+    /// median-frequency contexts, and patch them as overflow-vulnerable
+    /// (the most expensive defense).
+    pub fn hypothesized_patches(
+        &self,
+        ip: &InstrumentedProgram<'_>,
+        input: &[u64],
+        n: usize,
+    ) -> Vec<Patch> {
+        let profile = self.run_native(ip, input);
+        profile
+            .median_frequency_ccids(n)
+            .into_iter()
+            .map(|(fun, ccid)| Patch::new(fun, ccid, VulnFlags::OVERFLOW))
+            .collect()
+    }
+
+    /// The full Table II cycle for one vulnerable application.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NoPatchesGenerated`] if the analyzer found nothing
+    /// to patch; [`PipelineError::ConfigRoundTrip`] if the configuration
+    /// file failed to parse back (never expected).
+    pub fn full_cycle(&self, app: &VulnApp) -> Result<CycleReport, PipelineError> {
+        let ip = self.instrument(&app.program);
+
+        // Ground truth: the exploit works when undefended.
+        let native = self.run_native(&ip, app.patching_input());
+        let undefended_attack_succeeded = app.attack_succeeded(&native);
+
+        // Offline: one attack input → patches.
+        let analysis = self.analyze_attack(&ip, app.patching_input(), &app.reference);
+        if analysis.patches.is_empty() {
+            return Err(PipelineError::NoPatchesGenerated(app.name.clone()));
+        }
+
+        // Code-less deployment: write the configuration file, read it back.
+        let config_text = to_config_text(&analysis.patches);
+        let deployed = from_config_text(&config_text)
+            .map_err(|e| PipelineError::ConfigRoundTrip(e.to_string()))?;
+
+        let detected = deployed.iter().fold(VulnFlags::NONE, |acc, p| acc | p.vuln);
+
+        // Online: every attack input must be defeated...
+        let all_attacks_blocked = app.attack_inputs.iter().all(|input| {
+            let run = self.run_protected(&ip, input, &deployed);
+            !app.attack_succeeded(&run.report)
+        });
+        // ...and benign inputs must run to completion, unharmed.
+        let benign_ok = app.benign_inputs.iter().all(|input| {
+            let run = self.run_protected(&ip, input, &deployed);
+            run.report.outcome.is_completed() && !app.attack_succeeded(&run.report)
+        });
+
+        Ok(CycleReport {
+            app: app.name.clone(),
+            reference: app.reference.clone(),
+            expected: app.expected,
+            detected,
+            patches_generated: deployed.len(),
+            config_text,
+            undefended_attack_succeeded,
+            all_attacks_blocked,
+            benign_ok,
+        })
+    }
+}
+
+/// Re-exported for convenience in harnesses.
+pub fn alloc_fn_name(fun: AllocFn) -> &'static str {
+    fun.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_shadow::WarningKind;
+
+    fn ht() -> HeapTherapy {
+        HeapTherapy::new(PipelineConfig::default())
+    }
+
+    #[test]
+    fn full_cycle_bc_overflow() {
+        let report = ht().full_cycle(&ht_vulnapps::bc()).unwrap();
+        assert!(report.undefended_attack_succeeded);
+        assert_eq!(report.detected, VulnFlags::OVERFLOW);
+        assert!(report.detection_correct());
+        assert!(report.all_attacks_blocked);
+        assert!(report.benign_ok);
+        assert!(report.config_text.contains("malloc"));
+    }
+
+    #[test]
+    fn full_cycle_heartbleed_multi_vuln() {
+        let report = ht().full_cycle(&ht_vulnapps::heartbleed()).unwrap();
+        assert!(report.detected.contains(VulnFlags::UNINIT_READ));
+        assert!(report.detected.contains(VulnFlags::OVERFLOW));
+        assert!(
+            report.all_attacks_blocked,
+            "all fresh attack inputs defeated"
+        );
+        assert!(report.benign_ok);
+    }
+
+    #[test]
+    fn full_cycle_uaf_apps() {
+        for app in [ht_vulnapps::optipng(), ht_vulnapps::wavpack()] {
+            let report = ht().full_cycle(&app).unwrap();
+            assert_eq!(report.detected, VulnFlags::USE_AFTER_FREE, "{}", report.app);
+            assert!(report.all_attacks_blocked, "{}", report.app);
+            assert!(report.benign_ok, "{}", report.app);
+        }
+    }
+
+    #[test]
+    fn full_cycle_realloc_and_calloc_origins() {
+        let tiff = ht().full_cycle(&ht_vulnapps::tiff()).unwrap();
+        assert!(tiff.config_text.contains("realloc"), "{}", tiff.config_text);
+        assert!(tiff.all_attacks_blocked);
+        let ming = ht().full_cycle(&ht_vulnapps::libming()).unwrap();
+        assert!(ming.config_text.contains("calloc"), "{}", ming.config_text);
+        assert!(ming.all_attacks_blocked);
+    }
+
+    #[test]
+    fn analysis_report_carries_warnings() {
+        let app = ht_vulnapps::ghostxps();
+        let ht = ht();
+        let ip = ht.instrument(&app.program);
+        let analysis = ht.analyze_attack(&ip, app.patching_input(), "CVE-2017-9740");
+        assert!(analysis
+            .warnings
+            .iter()
+            .any(|w| w.kind == WarningKind::UninitRead));
+        assert_eq!(analysis.patches.len(), 1);
+        assert_eq!(analysis.patches[0].origin, "CVE-2017-9740");
+    }
+
+    #[test]
+    fn benign_input_generates_no_patches() {
+        let app = ht_vulnapps::bc();
+        let ht = ht();
+        let ip = ht.instrument(&app.program);
+        let analysis = ht.analyze_attack(&ip, &app.benign_inputs[0], "none");
+        assert!(analysis.patches.is_empty(), "zero false positives");
+    }
+
+    #[test]
+    fn hypothesized_patches_pick_median_contexts() {
+        let w = ht_simprog::spec::build_spec_workload(
+            ht_simprog::spec::spec_bench("456.hmmer").unwrap(),
+        );
+        let ht = ht();
+        let ip = ht.instrument(&w.program);
+        let input = w.input_for_allocs(500);
+        for n in [1usize, 5] {
+            let patches = ht.hypothesized_patches(&ip, &input, n);
+            assert_eq!(patches.len(), n);
+            for p in &patches {
+                assert_eq!(p.vuln, VulnFlags::OVERFLOW);
+            }
+            // The protected run must still complete (defenses are
+            // transparent to program logic).
+            let run = ht.run_protected(&ip, &input, &patches);
+            assert!(run.report.outcome.is_completed());
+            assert!(run.stats.table_hits > 0, "patched contexts were exercised");
+        }
+    }
+
+    #[test]
+    fn strategies_and_schemes_all_work_end_to_end() {
+        for strategy in Strategy::ALL {
+            for scheme in Scheme::ALL {
+                let cfg = PipelineConfig {
+                    strategy,
+                    scheme,
+                    ..PipelineConfig::default()
+                };
+                let report = HeapTherapy::new(cfg)
+                    .full_cycle(&ht_vulnapps::bc())
+                    .unwrap();
+                assert!(
+                    report.all_attacks_blocked && report.benign_ok,
+                    "{strategy}/{scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interposed_run_counts_calls() {
+        let app = ht_vulnapps::bc();
+        let ht = ht();
+        let ip = ht.instrument(&app.program);
+        let run = ht.run_interposed(&ip, &app.benign_inputs[0]);
+        assert!(run.report.outcome.is_completed());
+        assert!(run.stats.interposed_allocs >= 2);
+        assert_eq!(run.stats.table_lookups, 0);
+    }
+
+    #[test]
+    fn partitioned_analysis_matches_single_replay() {
+        // §IX: splitting the CCID space across N replays must find the same
+        // patches as one replay with an unbounded quota.
+        for app in [ht_vulnapps::optipng(), ht_vulnapps::heartbleed()] {
+            let ht = ht();
+            let ip = ht.instrument(&app.program);
+            let single = ht.analyze_attack(&ip, app.patching_input(), "x");
+            for n in [2u64, 4] {
+                let parts = ht.analyze_attack_partitioned(&ip, app.patching_input(), "x", n);
+                assert_eq!(parts.patches, single.patches, "{} n={n}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_cycle_single_context_takes_one_round() {
+        let (patches, rounds) = ht().iterative_cycle(&ht_vulnapps::bc(), 5).unwrap();
+        assert_eq!(rounds, 1, "one context, one cycle");
+        // A wide overflow can violate both the overflowed array and the
+        // neighbour's red zone, so one round may emit one or two patches.
+        assert!((1..=2).contains(&patches.len()), "{patches:?}");
+    }
+
+    #[test]
+    fn iterative_cycle_discovers_the_second_context() {
+        // §IX: the first round patches the context of the first attack
+        // input; the second attack drives the same bug through a different
+        // handler and forces a second round.
+        let app = ht_vulnapps::multi_context_overflow();
+        let ht = ht();
+
+        // Sanity: one-shot patching is NOT enough for this app.
+        let ip = ht.instrument(&app.program);
+        let one_shot = ht.analyze_attack(&ip, app.patching_input(), "x").patches;
+        assert_eq!(one_shot.len(), 1);
+        let second_attack = &app.attack_inputs[1];
+        let run = ht.run_protected(&ip, second_attack, &one_shot);
+        assert!(
+            app.attack_succeeded(&run.report),
+            "the second context is still exposed after round one"
+        );
+
+        // The cycle converges in two rounds with two context patches.
+        let (patches, rounds) = ht.iterative_cycle(&app, 5).unwrap();
+        assert_eq!(rounds, 2, "one extra round per new calling context");
+        assert_eq!(patches.len(), 2);
+        for input in &app.attack_inputs {
+            let run = ht.run_protected(&ip, input, &patches);
+            assert!(!app.attack_succeeded(&run.report));
+        }
+        for input in &app.benign_inputs {
+            let run = ht.run_protected(&ip, input, &patches);
+            assert!(run.report.outcome.is_completed());
+        }
+    }
+
+    #[test]
+    fn iterative_cycle_zero_rounds_when_already_safe() {
+        // Benign-only "attacks": nothing breaches, zero rounds.
+        let mut app = ht_vulnapps::bc();
+        app.attack_inputs = app.benign_inputs.clone();
+        let (patches, rounds) = ht().iterative_cycle(&app, 5).unwrap();
+        assert_eq!(rounds, 0);
+        assert!(patches.is_empty());
+    }
+
+    #[test]
+    fn cycle_report_row_renders() {
+        let report = ht().full_cycle(&ht_vulnapps::optipng()).unwrap();
+        let row = report.to_string();
+        assert!(row.contains("optipng"), "{row}");
+        assert!(row.contains("CVE-2015-7801"), "{row}");
+    }
+}

@@ -1,0 +1,721 @@
+//! Allocation interposition: the online defense as a [`HeapBackend`].
+
+use crate::layout::{BufferStructure, Layout};
+use crate::meta::{MetaWord, META_SIZE};
+use crate::quarantine::{Quarantine, QuarantinedBlock};
+use ht_memsim::{
+    Addr, AddressSpace, AllocStats, BaseAllocator, FreeListAllocator, Perm, SpaceStats, PAGE_SIZE,
+};
+use ht_patch::{AllocFn, PatchTable, VulnFlags};
+use ht_simprog::{AccessOutcome, AllocRequest, HeapBackend, ReadResult, Sink, StopCause};
+
+/// Online-defense configuration.
+#[derive(Debug, Clone)]
+pub struct DefenseConfig {
+    /// The frozen patch table loaded from the configuration file.
+    pub table: PatchTable,
+    /// Maintain the per-buffer metadata word. Disabling this yields the
+    /// paper's "interposition only" configuration (Fig. 8's 1.9% bar) and
+    /// requires an empty table.
+    pub maintain_metadata: bool,
+    /// Byte quota of the deferred-free FIFO.
+    pub quarantine_quota: u64,
+    /// Ablation: append a guard page to *every* buffer regardless of the
+    /// table — the prohibitively expensive policy HeapTherapy+'s targeting
+    /// avoids (paper Section VI).
+    pub guard_all: bool,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        Self {
+            table: PatchTable::new(),
+            maintain_metadata: true,
+            quarantine_quota: 2 * 1024 * 1024 * 1024,
+            guard_all: false,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Full defenses driven by `table`.
+    pub fn with_table(table: PatchTable) -> Self {
+        Self {
+            table,
+            ..Self::default()
+        }
+    }
+
+    /// The interposition-only configuration: calls are intercepted and
+    /// forwarded, nothing else (paper Fig. 8, "interposition" series).
+    pub fn interpose_only() -> Self {
+        Self {
+            maintain_metadata: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters the defense maintains (feed Fig. 8 and the ablations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefenseStats {
+    /// Allocation-family calls intercepted.
+    pub interposed_allocs: u64,
+    /// `free` calls intercepted.
+    pub interposed_frees: u64,
+    /// Patch-table probes performed.
+    pub table_lookups: u64,
+    /// Probes that hit (vulnerable buffers recognized).
+    pub table_hits: u64,
+    /// Guard pages installed.
+    pub guard_pages: u64,
+    /// Bytes zero-filled for uninitialized-read defenses.
+    pub zero_fill_bytes: u64,
+    /// Blocks pushed into the deferred-free FIFO.
+    pub quarantined_blocks: u64,
+    /// Accesses stopped by a protection fault (attacks blocked).
+    pub blocked_accesses: u64,
+}
+
+/// The online defense generator over an arbitrary inner allocator.
+///
+/// All heap traffic flows through this backend; buffers whose
+/// `(FUN, CCID)` hits the patch table are enhanced per paper Section VI,
+/// everything else pays one hash probe plus one metadata word.
+#[derive(Debug)]
+pub struct DefendedBackend<A: BaseAllocator = FreeListAllocator> {
+    space: AddressSpace,
+    inner: A,
+    cfg: DefenseConfig,
+    quarantine: Quarantine,
+    stats: DefenseStats,
+}
+
+impl DefendedBackend<FreeListAllocator> {
+    /// A defended backend over the free-list allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` disables metadata but carries patches — the defenses
+    /// cannot be applied without per-buffer metadata.
+    pub fn new(cfg: DefenseConfig) -> Self {
+        Self::with_allocator(FreeListAllocator::new(), cfg)
+    }
+}
+
+impl<A: BaseAllocator> DefendedBackend<A> {
+    /// A defended backend over a caller-chosen inner allocator —
+    /// HeapTherapy+ is allocator-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` disables metadata but carries patches.
+    pub fn with_allocator(inner: A, cfg: DefenseConfig) -> Self {
+        assert!(
+            cfg.maintain_metadata || (cfg.table.is_empty() && !cfg.guard_all),
+            "defenses require metadata maintenance"
+        );
+        let quota = cfg.quarantine_quota;
+        Self {
+            space: AddressSpace::new(),
+            inner,
+            cfg,
+            quarantine: Quarantine::new(quota),
+            stats: DefenseStats::default(),
+        }
+    }
+
+    /// Defense counters.
+    pub fn stats(&self) -> DefenseStats {
+        self.stats
+    }
+
+    /// Quarantine state (for tests and the quota ablation).
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// The simulated address space (RSS measurements).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn misuse(e: impl std::fmt::Display) -> StopCause {
+        StopCause::HeapMisuse(e.to_string())
+    }
+
+    /// The vulnerability bits for an allocation about to happen.
+    fn probe(&mut self, fun: AllocFn, ccid: u64) -> VulnFlags {
+        self.stats.table_lookups += 1;
+        let mut vuln = self.cfg.table.lookup(fun, ccid).unwrap_or(VulnFlags::NONE);
+        if !vuln.is_empty() {
+            self.stats.table_hits += 1;
+        }
+        if self.cfg.guard_all {
+            vuln |= VulnFlags::OVERFLOW;
+        }
+        vuln
+    }
+
+    /// Allocates one defended buffer (Structures 1–4).
+    fn defended_alloc(
+        &mut self,
+        fun: AllocFn,
+        size: u64,
+        align: u64,
+        vuln: VulnFlags,
+    ) -> Result<Addr, StopCause> {
+        let structure = BufferStructure::select(fun, vuln);
+        let layout = Layout::plan(structure, size, align);
+        let raw = if structure.is_aligned() {
+            self.inner
+                .memalign(&mut self.space, layout.raw_align, layout.raw_size)
+                .map_err(Self::misuse)?
+        } else {
+            self.inner
+                .malloc(&mut self.space, layout.raw_size)
+                .map_err(Self::misuse)?
+        };
+        let user = layout.user_addr(raw);
+        let align_log2 = structure
+            .is_aligned()
+            .then(|| layout.raw_align.trailing_zeros() as u8);
+        let meta = if let Some(guard) = layout.guard_addr(user, size) {
+            // Zero the slack between the buffer end and the guard page: an
+            // overread is stopped *at* the guard, so the bytes before it
+            // must not carry stale data.
+            self.space
+                .fill(user + size, guard - (user + size), 0)
+                .map_err(Self::misuse)?;
+            // User size lives in the first word of the guard page; write it
+            // before the page becomes inaccessible.
+            self.space
+                .write_u64_raw(guard, size)
+                .map_err(Self::misuse)?;
+            self.space
+                .protect(guard, PAGE_SIZE, Perm::None)
+                .map_err(Self::misuse)?;
+            self.stats.guard_pages += 1;
+            MetaWord::guarded(vuln, guard, align_log2)
+        } else {
+            MetaWord::unguarded(vuln, size, align_log2)
+        };
+        self.space
+            .write_u64_raw(user - META_SIZE, meta.0)
+            .map_err(Self::misuse)?;
+        if vuln.contains(VulnFlags::UNINIT_READ) || fun == AllocFn::Calloc {
+            self.space.fill(user, size, 0).map_err(Self::misuse)?;
+            self.stats.zero_fill_bytes += size;
+        }
+        Ok(user)
+    }
+
+    /// Reads the metadata of a previously defended buffer.
+    fn read_meta(&self, user: Addr) -> Result<MetaWord, StopCause> {
+        self.space
+            .read_u64_raw(user - META_SIZE)
+            .map(MetaWord)
+            .map_err(Self::misuse)
+    }
+
+    /// The user size of a defended buffer.
+    fn user_size(&self, user: Addr, meta: MetaWord) -> Result<u64, StopCause> {
+        if meta.has_guard() {
+            let _ = user;
+            self.space
+                .read_u64_raw(meta.guard_page())
+                .map_err(Self::misuse)
+        } else {
+            Ok(meta.size())
+        }
+    }
+
+    /// The free-path of paper Fig. 7.
+    fn defended_free(&mut self, user: Addr) -> Result<(), StopCause> {
+        let meta = self.read_meta(user)?;
+        let size = self.user_size(user, meta)?;
+        if meta.has_guard() {
+            // (1) make the guard page accessible again so the block can be
+            // recycled.
+            self.space
+                .protect(meta.guard_page(), PAGE_SIZE, Perm::ReadWrite)
+                .map_err(Self::misuse)?;
+        }
+        // (2) recover the inner pointer.
+        let pi = Layout::inner_ptr(meta.is_aligned(), meta.alignment(), user);
+        // (3) defer or release.
+        if meta.vuln().contains(VulnFlags::USE_AFTER_FREE) {
+            self.stats.quarantined_blocks += 1;
+            let evicted = self.quarantine.push(QuarantinedBlock {
+                inner_ptr: pi,
+                size,
+            });
+            for b in evicted {
+                self.inner
+                    .free(&mut self.space, b.inner_ptr)
+                    .map_err(Self::misuse)?;
+            }
+            Ok(())
+        } else {
+            self.inner.free(&mut self.space, pi).map_err(Self::misuse)
+        }
+    }
+}
+
+impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
+    fn alloc(&mut self, req: &AllocRequest) -> Result<Addr, StopCause> {
+        self.stats.interposed_allocs += 1;
+        if !self.cfg.maintain_metadata {
+            // Interposition-only: forward untouched.
+            let ptr = match (req.fun, req.old_ptr) {
+                (AllocFn::Realloc, Some(old)) => self.inner.realloc(&mut self.space, old, req.size),
+                (AllocFn::Memalign, _) => self.inner.memalign(&mut self.space, req.align, req.size),
+                _ => self.inner.malloc(&mut self.space, req.size),
+            }
+            .map_err(Self::misuse)?;
+            if req.fun == AllocFn::Calloc {
+                self.space.fill(ptr, req.size, 0).map_err(Self::misuse)?;
+            }
+            return Ok(ptr);
+        }
+        let vuln = self.probe(req.fun, req.ccid.0);
+        match (req.fun, req.old_ptr) {
+            (AllocFn::Realloc, Some(old)) => {
+                // Paper Section V: the buffer's CCID is updated to the
+                // realloc-time context — the new buffer is enhanced per the
+                // *realloc* patch lookup.
+                let old_meta = self.read_meta(old)?;
+                let old_size = self.user_size(old, old_meta)?;
+                let user = self.defended_alloc(AllocFn::Realloc, req.size, req.align, vuln)?;
+                let keep = old_size.min(req.size);
+                if keep > 0 {
+                    self.space.copy_raw(old, user, keep).map_err(Self::misuse)?;
+                }
+                self.stats.interposed_frees += 1;
+                self.defended_free(old)?;
+                Ok(user)
+            }
+            _ => self.defended_alloc(req.fun, req.size, req.align, vuln),
+        }
+    }
+
+    fn free(&mut self, ptr: Addr) -> AccessOutcome {
+        self.stats.interposed_frees += 1;
+        if !self.cfg.maintain_metadata {
+            return match self.inner.free(&mut self.space, ptr) {
+                Ok(()) => AccessOutcome::Ok,
+                Err(e) => AccessOutcome::Stop(Self::misuse(e)),
+            };
+        }
+        match self.defended_free(ptr) {
+            Ok(()) => AccessOutcome::Ok,
+            Err(c) => AccessOutcome::Stop(c),
+        }
+    }
+
+    fn write(&mut self, addr: Addr, len: u64, byte: u8) -> AccessOutcome {
+        match self.space.fill(addr, len, byte) {
+            Ok(()) => AccessOutcome::Ok,
+            Err(f) => {
+                self.stats.blocked_accesses += 1;
+                AccessOutcome::Stop(StopCause::Segfault {
+                    addr: f.addr,
+                    write: true,
+                })
+            }
+        }
+    }
+
+    fn read(&mut self, addr: Addr, len: u64, _sink: Sink) -> ReadResult {
+        let mut data = vec![0u8; len as usize];
+        match self.space.read(addr, &mut data) {
+            Ok(()) => ReadResult {
+                data,
+                outcome: AccessOutcome::Ok,
+            },
+            Err(f) => {
+                self.stats.blocked_accesses += 1;
+                data.truncate(f.completed as usize);
+                ReadResult {
+                    data,
+                    outcome: AccessOutcome::Stop(StopCause::Segfault {
+                        addr: f.addr,
+                        write: false,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn copy(&mut self, src: Addr, dst: Addr, len: u64) -> AccessOutcome {
+        let mut buf = vec![0u8; len as usize];
+        if let Err(f) = self.space.read(src, &mut buf) {
+            self.stats.blocked_accesses += 1;
+            return AccessOutcome::Stop(StopCause::Segfault {
+                addr: f.addr,
+                write: false,
+            });
+        }
+        match self.space.write(dst, &buf) {
+            Ok(()) => AccessOutcome::Ok,
+            Err(f) => {
+                self.stats.blocked_accesses += 1;
+                AccessOutcome::Stop(StopCause::Segfault {
+                    addr: f.addr,
+                    write: true,
+                })
+            }
+        }
+    }
+
+    fn mem_stats(&self) -> Option<(SpaceStats, AllocStats)> {
+        Some((self.space.stats(), self.inner.stats()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_callgraph::FuncId;
+    use ht_encoding::Ccid;
+    use ht_memsim::BumpAllocator;
+    use ht_patch::Patch;
+
+    fn req(fun: AllocFn, size: u64, ccid: u64) -> AllocRequest {
+        AllocRequest {
+            fun,
+            size,
+            align: 16,
+            ccid: Ccid(ccid),
+            target: FuncId(0),
+            old_ptr: None,
+        }
+    }
+
+    fn table(fun: AllocFn, ccid: u64, vuln: VulnFlags) -> PatchTable {
+        PatchTable::from_patches([Patch::new(fun, ccid, vuln)])
+    }
+
+    const VULN: u64 = 0xBAD;
+    const SAFE: u64 = 0x600D;
+
+    #[test]
+    fn unpatched_buffers_behave_normally() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        assert!(d.write(p, 64, 0xAA).is_ok());
+        let r = d.read(p, 64, Sink::Discard);
+        assert_eq!(r.data, vec![0xAA; 64]);
+        assert!(d.free(p).is_ok());
+        let st = d.stats();
+        assert_eq!(st.guard_pages, 0);
+        assert_eq!(st.table_lookups, 1);
+        assert_eq!(st.table_hits, 0);
+    }
+
+    #[test]
+    fn overflow_patch_blocks_overwrite_at_guard() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        assert_eq!(d.stats().guard_pages, 1);
+        assert!(d.write(p, 100, 0x41).is_ok(), "in-bounds fine");
+        // A long contiguous overflow is stopped at the page boundary.
+        match d.write(p, 100_000, 0x41) {
+            AccessOutcome::Stop(StopCause::Segfault { addr, write: true }) => {
+                assert_eq!(addr % PAGE_SIZE, 0, "fault exactly at the guard page");
+                assert!(addr >= p + 100 && addr - (p + 100) < PAGE_SIZE);
+            }
+            other => panic!("expected guard fault, got {other:?}"),
+        }
+        assert_eq!(d.stats().blocked_accesses, 1);
+    }
+
+    #[test]
+    fn overflow_patch_blocks_overread() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        d.write(p, 100, 0x41);
+        let r = d.read(p, 100_000, Sink::Leak);
+        assert!(!r.outcome.is_ok(), "overread blocked");
+        assert!(
+            r.data.len() < 100 + PAGE_SIZE as usize,
+            "leak capped at guard"
+        );
+    }
+
+    #[test]
+    fn uaf_patch_defers_reuse() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::USE_AFTER_FREE,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 64, VULN)).unwrap();
+        d.write(p, 64, 0x01);
+        assert!(d.free(p).is_ok());
+        assert_eq!(d.quarantine().len(), 1);
+        // Attacker's same-size allocation must not land on the block.
+        let q = d
+            .alloc(&req(AllocFn::Malloc, 64 + META_SIZE, SAFE))
+            .unwrap();
+        assert_ne!(q, p);
+        d.write(q, 64, 0x66);
+        // Dangling read sees stale victim data, not attacker bytes.
+        let r = d.read(p, 8, Sink::Addr);
+        assert_eq!(r.data, vec![0x01; 8], "no hijack: stale data only");
+    }
+
+    #[test]
+    fn unpatched_free_is_promptly_reused() {
+        // Contrast with the UAF test: without a patch the inner allocator's
+        // LIFO behaviour shows through (the defense adds nothing).
+        let mut d = DefendedBackend::new(DefenseConfig::default());
+        let p = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        d.free(p);
+        let q = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        assert_eq!(q, p, "same raw block recycled immediately");
+    }
+
+    #[test]
+    fn ur_patch_zero_fills() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::UNINIT_READ,
+        )));
+        // Pollute two blocks through an unpatched context and free both.
+        let warm1 = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        d.write(warm1, 64, 0xEE);
+        let warm2 = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        d.write(warm2, 64, 0xEE);
+        d.free(warm1);
+        d.free(warm2);
+        // Patched context reuses the LIFO head (warm2): must come back zeroed.
+        let q = d.alloc(&req(AllocFn::Malloc, 64, VULN)).unwrap();
+        let r = d.read(q, 64, Sink::Leak);
+        assert_eq!(r.data, vec![0u8; 64], "nothing but zeros leaks");
+        assert_eq!(d.stats().zero_fill_bytes, 64);
+        // An unpatched sibling (reusing warm1) still sees stale bytes —
+        // the defense is targeted, not global.
+        let s = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        let r = d.read(s, 64, Sink::Leak);
+        assert_eq!(r.data, vec![0xEE; 64], "unpatched context untouched");
+    }
+
+    #[test]
+    fn memalign_patched_gets_structure_4() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Memalign,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let mut r = req(AllocFn::Memalign, 1000, VULN);
+        r.align = 256;
+        let p = d.alloc(&r).unwrap();
+        assert_eq!(p % 256, 0, "alignment honored");
+        assert!(d.write(p, 1000, 1).is_ok());
+        assert!(!d.write(p, 50_000, 1).is_ok(), "guard present");
+        assert!(d.free(p).is_ok());
+    }
+
+    #[test]
+    fn free_restores_guard_page_for_reuse() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        assert!(d.free(p).is_ok());
+        // Reallocate through an unpatched context of a size that recycles
+        // the same class block; writing across the former guard's location
+        // must now succeed.
+        let q = d
+            .alloc(&req(AllocFn::Malloc, 2 * PAGE_SIZE + 100, SAFE))
+            .unwrap();
+        assert!(d.write(q, 2 * PAGE_SIZE + 100, 3).is_ok());
+    }
+
+    #[test]
+    fn realloc_reprobes_under_new_context() {
+        // The realloc-time CCID decides the defense (paper Section V).
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Realloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 32, SAFE)).unwrap();
+        d.write(p, 32, 0x22);
+        let mut r = req(AllocFn::Realloc, 64, VULN);
+        r.old_ptr = Some(p);
+        let q = d.alloc(&r).unwrap();
+        // Content preserved.
+        let got = d.read(q, 32, Sink::Discard);
+        assert_eq!(got.data, vec![0x22; 32]);
+        // New buffer is guarded.
+        assert!(!d.write(q, 10_000, 1).is_ok());
+    }
+
+    #[test]
+    fn realloc_shrink_keeps_prefix() {
+        let mut d = DefendedBackend::new(DefenseConfig::default());
+        let p = d.alloc(&req(AllocFn::Malloc, 100, SAFE)).unwrap();
+        d.write(p, 100, 0x77);
+        let mut r = req(AllocFn::Realloc, 10, SAFE);
+        r.old_ptr = Some(p);
+        let q = d.alloc(&r).unwrap();
+        let got = d.read(q, 10, Sink::Discard);
+        assert_eq!(got.data, vec![0x77; 10]);
+    }
+
+    #[test]
+    fn quarantine_quota_eviction_releases_to_inner() {
+        let mut cfg =
+            DefenseConfig::with_table(table(AllocFn::Malloc, VULN, VulnFlags::USE_AFTER_FREE));
+        cfg.quarantine_quota = 100;
+        let mut d = DefendedBackend::new(cfg);
+        let p1 = d.alloc(&req(AllocFn::Malloc, 80, VULN)).unwrap();
+        let p2 = d.alloc(&req(AllocFn::Malloc, 80, VULN)).unwrap();
+        d.free(p1);
+        d.free(p2); // evicts p1's block
+        assert_eq!(d.quarantine().len(), 1);
+        assert_eq!(d.quarantine().evictions(), 1);
+        assert_eq!(d.stats().quarantined_blocks, 2);
+    }
+
+    #[test]
+    fn multi_vulnerability_patch_applies_all_defenses() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::ALL,
+        )));
+        // Pre-pollute the size class.
+        let warm = d.alloc(&req(AllocFn::Malloc, 6000, SAFE)).unwrap();
+        d.write(warm, 6000, 0xEE);
+        d.free(warm);
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        // UR: zeroed.
+        let r = d.read(p, 100, Sink::Leak);
+        assert_eq!(r.data, vec![0u8; 100]);
+        // OF: guarded.
+        assert!(!d.write(p, 9_000, 1).is_ok());
+        // UAF: deferred.
+        d.free(p);
+        assert_eq!(d.quarantine().len(), 1);
+    }
+
+    #[test]
+    fn interpose_only_forwards_everything() {
+        let mut d = DefendedBackend::new(DefenseConfig::interpose_only());
+        let p = d.alloc(&req(AllocFn::Malloc, 64, VULN)).unwrap();
+        d.write(p, 64, 1);
+        assert!(d.free(p).is_ok());
+        let st = d.stats();
+        assert_eq!(st.interposed_allocs, 1);
+        assert_eq!(st.interposed_frees, 1);
+        assert_eq!(st.table_lookups, 0, "no probe without metadata");
+        // calloc zeroes even here.
+        let c = d.alloc(&req(AllocFn::Calloc, 32, SAFE)).unwrap();
+        let r = d.read(c, 32, Sink::Discard);
+        assert_eq!(r.data, vec![0u8; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "require metadata")]
+    fn interpose_only_with_patches_panics() {
+        let mut cfg = DefenseConfig::interpose_only();
+        cfg.table = table(AllocFn::Malloc, 1, VulnFlags::OVERFLOW);
+        let _ = DefendedBackend::new(cfg);
+    }
+
+    #[test]
+    fn allocator_independence_bump_allocator() {
+        // The same defenses over a completely different inner allocator.
+        let mut d = DefendedBackend::with_allocator(
+            BumpAllocator::new(),
+            DefenseConfig::with_table(table(AllocFn::Malloc, VULN, VulnFlags::OVERFLOW)),
+        );
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        assert!(d.write(p, 100, 1).is_ok());
+        assert!(!d.write(p, 50_000, 1).is_ok(), "guard works over bump too");
+        assert!(d.free(p).is_ok());
+    }
+
+    #[test]
+    fn guard_all_ablation_guards_everything() {
+        let cfg = DefenseConfig {
+            guard_all: true,
+            ..DefenseConfig::default()
+        };
+        let mut d = DefendedBackend::new(cfg);
+        for i in 0..10u64 {
+            let p = d.alloc(&req(AllocFn::Malloc, 64, i)).unwrap();
+            assert!(!d.write(p, 10_000, 1).is_ok(), "every buffer guarded");
+            d.free(p);
+        }
+        assert_eq!(d.stats().guard_pages, 10);
+    }
+
+    #[test]
+    fn calloc_still_zeroes_under_defense() {
+        let mut d = DefendedBackend::new(DefenseConfig::default());
+        let p = d.alloc(&req(AllocFn::Malloc, 64, SAFE)).unwrap();
+        d.write(p, 64, 0xFF);
+        d.free(p);
+        let q = d.alloc(&req(AllocFn::Calloc, 64, SAFE)).unwrap();
+        let r = d.read(q, 64, Sink::Discard);
+        assert_eq!(r.data, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn copy_respects_guard_pages() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let src = d.alloc(&req(AllocFn::Malloc, 8192, SAFE)).unwrap();
+        d.write(src, 8192, 0x11);
+        let dst = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        // In-bounds memcpy is fine.
+        assert!(d.copy(src, dst, 100).is_ok());
+        // An oversized memcpy into the guarded buffer traps at the guard.
+        match d.copy(src, dst, 8192) {
+            AccessOutcome::Stop(StopCause::Segfault { addr, write: true }) => {
+                assert_eq!(addr % PAGE_SIZE, 0, "stopped at the guard page");
+            }
+            other => panic!("expected guard fault, got {other:?}"),
+        }
+        assert!(d.stats().blocked_accesses >= 1);
+        // Reading out of the guarded buffer as a memcpy source is capped too.
+        let r = d.copy(dst, src, 8192);
+        assert!(!r.is_ok(), "overread via memcpy blocked");
+    }
+
+    #[test]
+    fn stats_count_interpositions() {
+        let mut d = DefendedBackend::new(DefenseConfig::default());
+        for i in 0..5u64 {
+            let p = d.alloc(&req(AllocFn::Malloc, 32, i)).unwrap();
+            d.free(p);
+        }
+        let st = d.stats();
+        assert_eq!(st.interposed_allocs, 5);
+        assert_eq!(st.interposed_frees, 5);
+        assert_eq!(st.table_lookups, 5);
+        assert_eq!(st.table_hits, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Buffer structure selection and placement math (paper Fig. 6 + Table I).
+//!
+//! | Structure | aligned | guard page | used for |
+//! |-----------|---------|------------|----------|
+//! | 1         | no      | no         | unpatched / UAF / UR via `malloc` |
+//! | 2         | no      | yes        | overflow patches via `malloc` |
+//! | 3         | yes     | no         | unpatched / UAF / UR via `memalign` |
+//! | 4         | yes     | yes        | overflow patches via `memalign` |
+
+use crate::meta::META_SIZE;
+use ht_memsim::{align_up, Addr, PAGE_SIZE};
+use ht_patch::{AllocFn, VulnFlags};
+
+/// The four buffer structures of paper Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferStructure {
+    /// `[meta][user]`
+    S1,
+    /// `[meta][user][pad][guard page]`
+    S2,
+    /// `[pad][meta][user]` (user is alignment-aligned)
+    S3,
+    /// `[pad][meta][user][pad][guard page]`
+    S4,
+}
+
+impl BufferStructure {
+    /// Table I: which structure serves a buffer with vulnerability bits
+    /// `vuln` allocated through `fun`.
+    pub fn select(fun: AllocFn, vuln: VulnFlags) -> Self {
+        let aligned = fun == AllocFn::Memalign;
+        let guarded = vuln.contains(VulnFlags::OVERFLOW);
+        match (aligned, guarded) {
+            (false, false) => BufferStructure::S1,
+            (false, true) => BufferStructure::S2,
+            (true, false) => BufferStructure::S3,
+            (true, true) => BufferStructure::S4,
+        }
+    }
+
+    /// Whether this structure appends a guard page.
+    pub fn has_guard(self) -> bool {
+        matches!(self, BufferStructure::S2 | BufferStructure::S4)
+    }
+
+    /// Whether this structure serves aligned allocations.
+    pub fn is_aligned(self) -> bool {
+        matches!(self, BufferStructure::S3 | BufferStructure::S4)
+    }
+}
+
+/// Concrete placement of one defended buffer inside a raw block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// The structure in use.
+    pub structure: BufferStructure,
+    /// Bytes to request from the inner allocator.
+    pub raw_size: u64,
+    /// Alignment to request from the inner allocator (1 = plain `malloc`).
+    pub raw_align: u64,
+}
+
+impl Layout {
+    /// Computes the raw request for `size` user bytes.
+    ///
+    /// `align` must be a power of two ≥ 16 for aligned structures (the
+    /// paper's Structure 3/4 place the metadata word inside the leading
+    /// padding, so the padding must hold at least one word).
+    pub fn plan(structure: BufferStructure, size: u64, align: u64) -> Layout {
+        match structure {
+            BufferStructure::S1 => Layout {
+                structure,
+                raw_size: META_SIZE + size,
+                raw_align: 1,
+            },
+            BufferStructure::S2 => Layout {
+                structure,
+                // meta + user + worst-case pad to the page boundary + guard.
+                raw_size: META_SIZE + size + (PAGE_SIZE - 1) + PAGE_SIZE,
+                raw_align: 1,
+            },
+            BufferStructure::S3 => {
+                let a = align.max(16);
+                Layout {
+                    structure,
+                    // [pad = align][user]: user = raw + align (paper §VI:
+                    // pi = p − A on free).
+                    raw_size: a + size,
+                    raw_align: a,
+                }
+            }
+            BufferStructure::S4 => {
+                let a = align.max(16);
+                Layout {
+                    structure,
+                    raw_size: a + size + (PAGE_SIZE - 1) + PAGE_SIZE,
+                    raw_align: a,
+                }
+            }
+        }
+    }
+
+    /// The user-buffer address inside a raw block at `raw`.
+    pub fn user_addr(&self, raw: Addr) -> Addr {
+        match self.structure {
+            BufferStructure::S1 | BufferStructure::S2 => raw + META_SIZE,
+            BufferStructure::S3 | BufferStructure::S4 => raw + self.raw_align,
+        }
+    }
+
+    /// The guard-page address for a user buffer of `size` bytes at `user`
+    /// (guarded structures only).
+    pub fn guard_addr(&self, user: Addr, size: u64) -> Option<Addr> {
+        if !self.structure.has_guard() {
+            return None;
+        }
+        Some(align_up(user + size, PAGE_SIZE))
+    }
+
+    /// Recovers the raw (inner-allocator) pointer from a user pointer —
+    /// the `pi` computation of paper Fig. 7.
+    pub fn inner_ptr(aligned: bool, alignment: u64, user: Addr) -> Addr {
+        if aligned {
+            user - alignment
+        } else {
+            user - META_SIZE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_structure_selection() {
+        use BufferStructure::*;
+        // Rows of Table I: every vulnerability combination × plain/aligned.
+        let cases = [
+            (VulnFlags::NONE, S1, S3),
+            (VulnFlags::OVERFLOW, S2, S4),
+            (VulnFlags::USE_AFTER_FREE, S1, S3),
+            (VulnFlags::UNINIT_READ, S1, S3),
+            (VulnFlags::OVERFLOW | VulnFlags::USE_AFTER_FREE, S2, S4),
+            (VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ, S2, S4),
+            (VulnFlags::USE_AFTER_FREE | VulnFlags::UNINIT_READ, S1, S3),
+            (VulnFlags::ALL, S2, S4),
+        ];
+        for (vuln, plain, aligned) in cases {
+            assert_eq!(
+                BufferStructure::select(AllocFn::Malloc, vuln),
+                plain,
+                "{vuln}"
+            );
+            assert_eq!(
+                BufferStructure::select(AllocFn::Calloc, vuln),
+                plain,
+                "{vuln}"
+            );
+            assert_eq!(
+                BufferStructure::select(AllocFn::Realloc, vuln),
+                plain,
+                "{vuln}"
+            );
+            assert_eq!(
+                BufferStructure::select(AllocFn::Memalign, vuln),
+                aligned,
+                "{vuln}"
+            );
+        }
+    }
+
+    #[test]
+    fn s1_layout_is_tight() {
+        let l = Layout::plan(BufferStructure::S1, 100, 16);
+        assert_eq!(l.raw_size, 108);
+        assert_eq!(l.user_addr(0x1000), 0x1008);
+        assert_eq!(l.guard_addr(0x1008, 100), None);
+    }
+
+    #[test]
+    fn s2_guard_page_is_page_aligned_and_in_bounds() {
+        for size in [1u64, 100, 4088, 4096, 10_000] {
+            let l = Layout::plan(BufferStructure::S2, size, 16);
+            // Simulate an arbitrary raw placement.
+            for raw in [0x10000u64, 0x10008, 0x10ff8] {
+                let user = l.user_addr(raw);
+                let guard = l.guard_addr(user, size).unwrap();
+                assert_eq!(guard % PAGE_SIZE, 0);
+                assert!(guard >= user + size, "guard after user buffer");
+                assert!(guard - (user + size) < PAGE_SIZE, "pad under one page");
+                assert!(
+                    guard + PAGE_SIZE <= raw + l.raw_size,
+                    "guard inside raw block: size={size} raw={raw:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s3_user_is_aligned_and_meta_fits() {
+        let l = Layout::plan(BufferStructure::S3, 100, 64);
+        assert_eq!(l.raw_align, 64);
+        let raw = 0x4000; // inner memalign returns aligned raw
+        let user = l.user_addr(raw);
+        assert_eq!(user % 64, 0);
+        assert_eq!(user - raw, 64, "pi = p − A recovers raw");
+        assert!(user - META_SIZE >= raw, "meta word inside the pad");
+        assert_eq!(Layout::inner_ptr(true, 64, user), raw);
+    }
+
+    #[test]
+    fn s4_combines_alignment_and_guard() {
+        let l = Layout::plan(BufferStructure::S4, 5000, 256);
+        let raw = 0x10000; // 256-aligned
+        let user = l.user_addr(raw);
+        assert_eq!(user % 256, 0);
+        let guard = l.guard_addr(user, 5000).unwrap();
+        assert_eq!(guard % PAGE_SIZE, 0);
+        assert!(guard + PAGE_SIZE <= raw + l.raw_size);
+    }
+
+    #[test]
+    fn small_alignment_is_bumped_to_hold_meta() {
+        let l = Layout::plan(BufferStructure::S3, 10, 2);
+        assert!(l.raw_align >= 16);
+    }
+
+    #[test]
+    fn inner_ptr_unaligned() {
+        assert_eq!(Layout::inner_ptr(false, 0, 0x1008), 0x1000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Thread-local calling-context encoding for real Rust programs.
+//!
+//! The paper's LLVM pass inserts `V = 3t + c` at instrumented call sites; in
+//! Rust the equivalent is an RAII guard at each site the targeted analysis
+//! selects:
+//!
+//! ```
+//! use ht_hardened_alloc::ccid::{current, CallScope};
+//!
+//! fn parse_request() -> u64 {
+//!     let _site = CallScope::enter(0x517E); // site constant from the plan
+//!     handle()
+//! }
+//! fn handle() -> u64 {
+//!     current() // the allocation-time CCID the allocator will see
+//! }
+//! let outer = current();
+//! let inner = parse_request();
+//! assert_ne!(outer, inner);
+//! assert_eq!(current(), outer, "scope restored on return");
+//! ```
+
+use std::cell::Cell;
+
+thread_local! {
+    static V: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current thread's calling-context ID.
+#[inline]
+pub fn current() -> u64 {
+    V.with(|v| v.get())
+}
+
+/// RAII guard representing one instrumented call site on the stack.
+///
+/// Construction applies PCC's update `V = 3·V + c`; dropping restores the
+/// caller's `V` — the save/restore the paper implements with a function-local
+/// temporary.
+#[derive(Debug)]
+pub struct CallScope {
+    saved: u64,
+}
+
+impl CallScope {
+    /// Enters an instrumented call site with site constant `c`.
+    #[inline]
+    pub fn enter(c: u64) -> Self {
+        let saved = V.with(|v| {
+            let t = v.get();
+            v.set(t.wrapping_mul(3).wrapping_add(c));
+            t
+        });
+        CallScope { saved }
+    }
+}
+
+impl Drop for CallScope {
+    #[inline]
+    fn drop(&mut self) {
+        V.with(|v| v.set(self.saved));
+    }
+}
+
+/// Runs `f` inside an instrumented call site (convenience wrapper).
+pub fn with_site<R>(c: u64, f: impl FnOnce() -> R) -> R {
+    let _scope = CallScope::enter(c);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_scopes_compose_and_restore() {
+        assert_eq!(current(), 0);
+        {
+            let _a = CallScope::enter(5);
+            assert_eq!(current(), 5);
+            {
+                let _b = CallScope::enter(7);
+                assert_eq!(current(), 22); // 3*5+7
+            }
+            assert_eq!(current(), 5);
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn with_site_is_equivalent() {
+        let inner = with_site(9, current);
+        assert_eq!(inner, 9);
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn distinct_paths_distinct_ccids() {
+        let via_a = with_site(1, || with_site(3, current));
+        let via_b = with_site(2, || with_site(3, current));
+        assert_ne!(via_a, via_b);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let _main = CallScope::enter(42);
+        let other = std::thread::spawn(current).join().unwrap();
+        assert_eq!(other, 0, "fresh thread starts at the entry context");
+        assert_eq!(current(), 42);
+    }
+}

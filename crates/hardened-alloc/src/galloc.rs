@@ -1,0 +1,686 @@
+//! The hardened global allocator.
+
+use crate::ccid;
+use crate::registry::{Entry, QuarantineRing, Registry};
+use ht_patch::{AllocFn, Patch, VulnFlags};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One installed patch, allocation-free representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchEntry {
+    /// Allocation API the patch applies to.
+    pub fun: AllocFn,
+    /// Allocation-time CCID (from [`ccid::current`] at the patched site).
+    pub ccid: u64,
+    /// Defenses to apply.
+    pub vuln: VulnFlags,
+}
+
+impl PatchEntry {
+    /// A new patch entry.
+    pub fn new(fun: AllocFn, ccid: u64, vuln: VulnFlags) -> Self {
+        Self { fun, ccid, vuln }
+    }
+}
+
+impl From<&Patch> for PatchEntry {
+    fn from(p: &Patch) -> Self {
+        Self::new(p.alloc_fn, p.ccid, p.vuln)
+    }
+}
+
+/// Snapshot of the allocator's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardenedStats {
+    /// Allocation-family calls intercepted.
+    pub interposed_allocs: u64,
+    /// Deallocations intercepted.
+    pub interposed_frees: u64,
+    /// Patch-table hits (vulnerable buffers recognized).
+    pub table_hits: u64,
+    /// Guard pages installed.
+    pub guard_pages: u64,
+    /// Buffers zero-filled for UR defenses.
+    pub zero_fills: u64,
+    /// Blocks pushed into the quarantine.
+    pub quarantined: u64,
+    /// Blocks evicted from the quarantine back to the system.
+    pub evictions: u64,
+    /// Defenses skipped because a fixed table was full (fail-open).
+    pub fail_open: u64,
+}
+
+const PATCH_SLOTS: usize = 512;
+
+#[derive(Debug, Clone, Copy)]
+struct PatchSlot {
+    used: bool,
+    fun: AllocFn,
+    ccid: u64,
+    vuln: VulnFlags,
+}
+
+const EMPTY_SLOT: PatchSlot = PatchSlot {
+    used: false,
+    fun: AllocFn::Malloc,
+    ccid: 0,
+    vuln: VulnFlags::NONE,
+};
+
+struct PatchSet {
+    lock: crate::registry::SpinLock,
+    slots: std::cell::UnsafeCell<[PatchSlot; PATCH_SLOTS]>,
+}
+
+unsafe impl Sync for PatchSet {}
+
+impl PatchSet {
+    const fn new() -> Self {
+        Self {
+            lock: crate::registry::SpinLock::new(),
+            slots: std::cell::UnsafeCell::new([EMPTY_SLOT; PATCH_SLOTS]),
+        }
+    }
+
+    fn slot_of(fun: AllocFn, ccid: u64) -> usize {
+        let key = ccid ^ ((fun as u64) << 56);
+        (key.wrapping_mul(0x9E3779B97F4A7C15) >> (64 - 9)) as usize // log2(512)
+    }
+
+    /// Returns whether the entry fit.
+    fn insert(&self, e: PatchEntry) -> bool {
+        let _g = self.lock.lock();
+        let slots = unsafe { &mut *self.slots.get() };
+        let start = Self::slot_of(e.fun, e.ccid);
+        for i in 0..PATCH_SLOTS {
+            let s = (start + i) % PATCH_SLOTS;
+            if slots[s].used && slots[s].fun == e.fun && slots[s].ccid == e.ccid {
+                slots[s].vuln |= e.vuln;
+                return true;
+            }
+            if !slots[s].used {
+                slots[s] = PatchSlot {
+                    used: true,
+                    fun: e.fun,
+                    ccid: e.ccid,
+                    vuln: e.vuln,
+                };
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lookup(&self, fun: AllocFn, ccid: u64) -> VulnFlags {
+        let _g = self.lock.lock();
+        let slots = unsafe { &*self.slots.get() };
+        let start = Self::slot_of(fun, ccid);
+        for i in 0..PATCH_SLOTS {
+            let s = (start + i) % PATCH_SLOTS;
+            if !slots[s].used {
+                return VulnFlags::NONE;
+            }
+            if slots[s].fun == fun && slots[s].ccid == ccid {
+                return slots[s].vuln;
+            }
+        }
+        VulnFlags::NONE
+    }
+}
+
+const PAGE: usize = 4096;
+
+fn page_up(n: usize) -> usize {
+    (n + PAGE - 1) & !(PAGE - 1)
+}
+
+/// The HeapTherapy+ hardened allocator over the system allocator.
+///
+/// Usable as a `static` (all state is fixed-size and allocation-free) and
+/// therefore as `#[global_allocator]`. Defenses are driven by the patch set
+/// installed with [`HardenedAlloc::install`]; unpatched allocations pay one
+/// table probe and otherwise go straight to [`System`].
+#[derive(Debug)]
+pub struct HardenedAlloc {
+    patches: PatchSet,
+    registry: Registry,
+    quarantine: QuarantineRing,
+    quota: AtomicUsize,
+    interposed_allocs: AtomicU64,
+    interposed_frees: AtomicU64,
+    table_hits: AtomicU64,
+    guard_pages: AtomicU64,
+    zero_fills: AtomicU64,
+    quarantined: AtomicU64,
+    evictions: AtomicU64,
+    fail_open: AtomicU64,
+}
+
+impl std::fmt::Debug for PatchSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatchSet").finish_non_exhaustive()
+    }
+}
+
+impl Default for HardenedAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HardenedAlloc {
+    /// A hardened allocator with an empty patch set and a 64 MiB quarantine
+    /// quota.
+    pub const fn new() -> Self {
+        Self {
+            patches: PatchSet::new(),
+            registry: Registry::new(),
+            quarantine: QuarantineRing::new(),
+            quota: AtomicUsize::new(64 * 1024 * 1024),
+            interposed_allocs: AtomicU64::new(0),
+            interposed_frees: AtomicU64::new(0),
+            table_hits: AtomicU64::new(0),
+            guard_pages: AtomicU64::new(0),
+            zero_fills: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            fail_open: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs patches (idempotent per `(FUN, CCID)`; bits merge).
+    ///
+    /// Returns how many entries were accepted (the fixed table holds 512).
+    pub fn install(&self, patches: &[PatchEntry]) -> usize {
+        patches
+            .iter()
+            .filter(|&&p| {
+                let ok = self.patches.insert(p);
+                if !ok {
+                    self.fail_open.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            })
+            .count()
+    }
+
+    /// Installs patches from a configuration file in the standard text
+    /// format (`FUN CCID TYPE`, see [`ht_patch::from_config_text`]) — the
+    /// online defense generator's startup step on real memory.
+    ///
+    /// Returns how many entries were accepted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ht_patch::ConfigError`] for malformed input.
+    pub fn install_from_config(&self, text: &str) -> Result<usize, ht_patch::ConfigError> {
+        let patches = ht_patch::from_config_text(text)?;
+        let entries: Vec<PatchEntry> = patches.iter().map(PatchEntry::from).collect();
+        Ok(self.install(&entries))
+    }
+
+    /// Sets the quarantine quota in bytes.
+    pub fn set_quarantine_quota(&self, bytes: usize) {
+        self.quota.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HardenedStats {
+        HardenedStats {
+            interposed_allocs: self.interposed_allocs.load(Ordering::Relaxed),
+            interposed_frees: self.interposed_frees.load(Ordering::Relaxed),
+            table_hits: self.table_hits.load(Ordering::Relaxed),
+            guard_pages: self.guard_pages.load(Ordering::Relaxed),
+            zero_fills: self.zero_fills.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            fail_open: self.fail_open.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `ptr` is currently in the deferred-free quarantine.
+    pub fn is_quarantined(&self, ptr: *mut u8) -> bool {
+        self.quarantine.contains(ptr as usize)
+    }
+
+    /// Current quarantine usage: (blocks, bytes).
+    pub fn quarantine_usage(&self) -> (usize, usize) {
+        self.quarantine.usage()
+    }
+
+    /// The guard-page address of a guarded live allocation, if any.
+    pub fn guard_page_of(&self, ptr: *mut u8) -> Option<usize> {
+        let e = self.registry.get(ptr as usize)?;
+        if e.region == 0 {
+            return None;
+        }
+        Some(e.region + e.region_len - PAGE)
+    }
+
+    /// `mmap` a region with a trailing `PROT_NONE` guard page and place the
+    /// user buffer so its end abuts the guard (modulo alignment).
+    unsafe fn guarded_alloc(&self, layout: Layout, vuln: VulnFlags) -> *mut u8 {
+        let size = layout.size().max(1);
+        let align = layout.align().max(1);
+        let body = page_up(size + align);
+        let total = body + PAGE;
+        let region = libc::mmap(
+            std::ptr::null_mut(),
+            total,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+            -1,
+            0,
+        );
+        if region == libc::MAP_FAILED {
+            return std::ptr::null_mut();
+        }
+        let region = region as usize;
+        let guard = region + body;
+        if libc::mprotect(guard as *mut libc::c_void, PAGE, libc::PROT_NONE) != 0 {
+            libc::munmap(region as *mut libc::c_void, total);
+            return std::ptr::null_mut();
+        }
+        let user = (guard - size) & !(align - 1);
+        debug_assert!(user >= region);
+        let entry = Entry {
+            ptr: user,
+            region,
+            region_len: total,
+            vuln: vuln.bits(),
+            size,
+            align,
+        };
+        if !self.registry.insert(entry) {
+            // Fail open: no room to remember the region; fall back to the
+            // system allocator so dealloc stays correct.
+            libc::munmap(region as *mut libc::c_void, total);
+            self.fail_open.fetch_add(1, Ordering::Relaxed);
+            return System.alloc(layout);
+        }
+        self.guard_pages.fetch_add(1, Ordering::Relaxed);
+        user as *mut u8
+    }
+
+    unsafe fn alloc_with(&self, fun: AllocFn, layout: Layout, zeroed: bool) -> *mut u8 {
+        self.interposed_allocs.fetch_add(1, Ordering::Relaxed);
+        let vuln = self.patches.lookup(fun, ccid::current());
+        if !vuln.is_empty() {
+            self.table_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if vuln.contains(VulnFlags::OVERFLOW) {
+            // mmap memory is already zeroed, which also covers UR.
+            if vuln.contains(VulnFlags::UNINIT_READ) {
+                self.zero_fills.fetch_add(1, Ordering::Relaxed);
+            }
+            return self.guarded_alloc(layout, vuln);
+        }
+        let p = if zeroed {
+            System.alloc_zeroed(layout)
+        } else {
+            System.alloc(layout)
+        };
+        if p.is_null() {
+            return p;
+        }
+        if vuln.contains(VulnFlags::UNINIT_READ) && !zeroed {
+            std::ptr::write_bytes(p, 0, layout.size());
+            self.zero_fills.fetch_add(1, Ordering::Relaxed);
+        }
+        if vuln.contains(VulnFlags::USE_AFTER_FREE) {
+            let entry = Entry {
+                ptr: p as usize,
+                region: 0,
+                region_len: 0,
+                vuln: vuln.bits(),
+                size: layout.size(),
+                align: layout.align(),
+            };
+            if !self.registry.insert(entry) {
+                self.fail_open.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+
+    unsafe fn release(&self, e: Entry) {
+        if e.region != 0 {
+            libc::munmap(e.region as *mut libc::c_void, e.region_len);
+        } else {
+            let layout = Layout::from_size_align_unchecked(e.size.max(1), e.align.max(1));
+            System.dealloc(e.ptr as *mut u8, layout);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for HardenedAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.alloc_with(AllocFn::Malloc, layout, false)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.alloc_with(AllocFn::Calloc, layout, true)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.interposed_frees.fetch_add(1, Ordering::Relaxed);
+        match self.registry.remove(ptr as usize) {
+            Some(e) => {
+                let vuln = VulnFlags::from_bits_truncate(e.vuln);
+                if vuln.contains(VulnFlags::USE_AFTER_FREE) {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    let quota = self.quota.load(Ordering::Relaxed);
+                    for evicted in self.quarantine.push(e, quota).into_iter().flatten() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.release(evicted);
+                    }
+                } else {
+                    self.release(e);
+                }
+            }
+            None => System.dealloc(ptr, layout),
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Interpose as the realloc API: the *realloc-time* context decides
+        // the defense (paper Section V).
+        let Ok(new_layout) = Layout::from_size_align(new_size, layout.align()) else {
+            return std::ptr::null_mut();
+        };
+        let new_ptr = self.alloc_with(AllocFn::Realloc, new_layout, false);
+        if new_ptr.is_null() {
+            return new_ptr;
+        }
+        std::ptr::copy_nonoverlapping(ptr, new_ptr, layout.size().min(new_size));
+        self.dealloc(ptr, layout);
+        new_ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(size: usize, align: usize) -> Layout {
+        Layout::from_size_align(size, align).unwrap()
+    }
+
+    /// Reads /proc/self/maps and returns the permission string covering
+    /// `addr`, e.g. `"---p"`.
+    fn perms_at(addr: usize) -> Option<String> {
+        let maps = std::fs::read_to_string("/proc/self/maps").ok()?;
+        for line in maps.lines() {
+            let (range, rest) = line.split_once(' ')?;
+            let (lo, hi) = range.split_once('-')?;
+            let lo = usize::from_str_radix(lo, 16).ok()?;
+            let hi = usize::from_str_radix(hi, 16).ok()?;
+            if addr >= lo && addr < hi {
+                return Some(rest.split(' ').next()?.to_string());
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn unpatched_allocations_pass_through() {
+        let a = HardenedAlloc::new();
+        unsafe {
+            let l = layout(128, 8);
+            let p = a.alloc(l);
+            assert!(!p.is_null());
+            std::ptr::write_bytes(p, 0xAB, 128);
+            assert_eq!(*p.add(127), 0xAB);
+            a.dealloc(p, l);
+        }
+        let st = a.stats();
+        assert_eq!(st.interposed_allocs, 1);
+        assert_eq!(st.interposed_frees, 1);
+        assert_eq!(st.table_hits, 0);
+        assert_eq!(st.guard_pages, 0);
+    }
+
+    #[test]
+    fn guard_page_is_mapped_inaccessible() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x0F, ccid::current);
+        a.install(&[PatchEntry::new(AllocFn::Malloc, here, VulnFlags::OVERFLOW)]);
+        unsafe {
+            let _site = ccid::CallScope::enter(0x0F);
+            let l = layout(1000, 16);
+            let p = a.alloc(l);
+            assert!(!p.is_null());
+            // Whole buffer writable.
+            std::ptr::write_bytes(p, 0x55, 1000);
+            // The guard page directly follows (mod alignment slack) and is
+            // PROT_NONE.
+            let guard = a.guard_page_of(p).expect("guarded allocation");
+            assert!(guard >= p as usize + 1000);
+            assert!(guard - (p as usize + 1000) < 16, "end abuts the guard");
+            assert_eq!(perms_at(guard).as_deref(), Some("---p"));
+            a.dealloc(p, l);
+            assert!(a.guard_page_of(p).is_none(), "region unmapped on free");
+        }
+        assert_eq!(a.stats().guard_pages, 1);
+        assert_eq!(a.stats().table_hits, 1);
+    }
+
+    #[test]
+    fn ur_patch_zero_fills_real_memory() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x11, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::UNINIT_READ,
+        )]);
+        unsafe {
+            // Warm the system allocator with dirty blocks.
+            let l = layout(512, 16);
+            for _ in 0..8 {
+                let p = a.alloc(l);
+                std::ptr::write_bytes(p, 0xEE, 512);
+                a.dealloc(p, l);
+            }
+            let _site = ccid::CallScope::enter(0x11);
+            let p = a.alloc(l);
+            let buf = std::slice::from_raw_parts(p, 512);
+            assert!(buf.iter().all(|&b| b == 0), "patched context zero-filled");
+            a.dealloc(p, l);
+        }
+        assert_eq!(a.stats().zero_fills, 1);
+    }
+
+    #[test]
+    fn uaf_patch_quarantines_real_frees() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x22, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::USE_AFTER_FREE,
+        )]);
+        unsafe {
+            let l = layout(256, 16);
+            let p = {
+                let _site = ccid::CallScope::enter(0x22);
+                a.alloc(l)
+            };
+            std::ptr::write_bytes(p, 0x11, 256);
+            a.dealloc(p, l);
+            assert!(a.is_quarantined(p), "free deferred");
+            // The memory is still mapped and carries the stale bytes.
+            assert_eq!(*p, 0x11);
+            assert_eq!(a.quarantine_usage(), (1, 256));
+        }
+        assert_eq!(a.stats().quarantined, 1);
+        assert_eq!(a.stats().evictions, 0);
+    }
+
+    #[test]
+    fn quarantine_quota_evicts_to_system() {
+        let a = HardenedAlloc::new();
+        a.set_quarantine_quota(600);
+        let here = ccid::with_site(0x33, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::USE_AFTER_FREE,
+        )]);
+        unsafe {
+            let l = layout(256, 16);
+            for _ in 0..4 {
+                let p = {
+                    let _site = ccid::CallScope::enter(0x33);
+                    a.alloc(l)
+                };
+                a.dealloc(p, l);
+            }
+        }
+        let st = a.stats();
+        assert_eq!(st.quarantined, 4);
+        assert!(st.evictions >= 2, "quota forces evictions: {st:?}");
+        assert!(a.quarantine_usage().1 <= 600);
+    }
+
+    #[test]
+    fn realloc_probes_realloc_context() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x44, ccid::current);
+        a.install(&[PatchEntry::new(AllocFn::Realloc, here, VulnFlags::OVERFLOW)]);
+        unsafe {
+            let l = layout(64, 8);
+            let p = a.alloc(l);
+            std::ptr::write_bytes(p, 0x77, 64);
+            let q = {
+                let _site = ccid::CallScope::enter(0x44);
+                a.realloc(p, l, 256)
+            };
+            assert!(!q.is_null());
+            // Contents preserved.
+            assert!(std::slice::from_raw_parts(q, 64).iter().all(|&b| b == 0x77));
+            // New buffer is guarded.
+            assert!(a.guard_page_of(q).is_some());
+            a.dealloc(q, layout(256, 8));
+        }
+    }
+
+    #[test]
+    fn alloc_zeroed_probes_calloc() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x55, ccid::current);
+        a.install(&[PatchEntry::new(AllocFn::Calloc, here, VulnFlags::OVERFLOW)]);
+        unsafe {
+            let l = layout(100, 8);
+            let _site = ccid::CallScope::enter(0x55);
+            let p = a.alloc_zeroed(l);
+            assert!(a.guard_page_of(p).is_some(), "calloc patch hit");
+            assert!(std::slice::from_raw_parts(p, 100).iter().all(|&b| b == 0));
+            a.dealloc(p, l);
+        }
+    }
+
+    #[test]
+    fn different_context_same_site_constant_misses() {
+        let a = HardenedAlloc::new();
+        let patched = ccid::with_site(1, || ccid::with_site(2, ccid::current));
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            patched,
+            VulnFlags::OVERFLOW,
+        )]);
+        unsafe {
+            let l = layout(64, 8);
+            // Same leaf site (2) under a different caller (3): different
+            // CCID, no defense.
+            let p = ccid::with_site(3, || ccid::with_site(2, || a.alloc(l)));
+            assert!(a.guard_page_of(p).is_none());
+            a.dealloc(p, l);
+        }
+    }
+
+    #[test]
+    fn install_from_config_text() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x77, ccid::current);
+        let text = format!("malloc {here:#x} UR|UAF  # from-disk\nbogus-line-free\n");
+        assert!(a.install_from_config(&text).is_err(), "malformed rejected");
+        let text = format!("malloc {here:#x} UR|UAF  # from-disk\n");
+        assert_eq!(a.install_from_config(&text).unwrap(), 1);
+        unsafe {
+            let l = layout(64, 8);
+            let p = {
+                let _site = ccid::CallScope::enter(0x77);
+                a.alloc(l)
+            };
+            assert!(
+                std::slice::from_raw_parts(p, 64).iter().all(|&b| b == 0),
+                "UR bit from the config applied"
+            );
+            a.dealloc(p, l);
+            assert!(a.is_quarantined(p), "UAF bit from the config applied");
+        }
+    }
+
+    #[test]
+    fn patch_entry_from_patch() {
+        let p = Patch::new(AllocFn::Malloc, 7, VulnFlags::ALL);
+        let e = PatchEntry::from(&p);
+        assert_eq!(e.ccid, 7);
+        assert_eq!(e.vuln, VulnFlags::ALL);
+    }
+
+    #[test]
+    fn install_merges_duplicate_keys() {
+        let a = HardenedAlloc::new();
+        assert_eq!(
+            a.install(&[
+                PatchEntry::new(AllocFn::Malloc, 9, VulnFlags::OVERFLOW),
+                PatchEntry::new(AllocFn::Malloc, 9, VulnFlags::UNINIT_READ),
+            ]),
+            2
+        );
+        assert_eq!(
+            a.patches.lookup(AllocFn::Malloc, 9),
+            VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ
+        );
+    }
+
+    #[test]
+    fn concurrent_allocation_stress() {
+        use std::sync::Arc;
+        let a = Arc::new(HardenedAlloc::new());
+        let here = ccid::with_site(0x66, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::USE_AFTER_FREE,
+        )]);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || unsafe {
+                let l = layout(64, 8);
+                for i in 0..200 {
+                    let p = if i % 3 == 0 {
+                        let _site = ccid::CallScope::enter(0x66);
+                        a.alloc(l)
+                    } else {
+                        a.alloc(l)
+                    };
+                    assert!(!p.is_null());
+                    std::ptr::write_bytes(p, t, 64);
+                    assert_eq!(*p.add(63), t);
+                    a.dealloc(p, l);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = a.stats();
+        assert_eq!(st.interposed_allocs, 800);
+        assert_eq!(st.interposed_frees, 800);
+    }
+}

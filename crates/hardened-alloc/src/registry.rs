@@ -1,0 +1,342 @@
+//! Allocation-free fixed-capacity tables used on the hot allocation path.
+//!
+//! A `#[global_allocator]` must never allocate while servicing an
+//! allocation, so both the patch table and the live-pointer registry are
+//! fixed-size open-addressing tables guarded by a spin lock / atomics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Minimal spin lock (no parking, no allocation).
+#[derive(Debug, Default)]
+pub(crate) struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl SpinLock {
+    pub(crate) const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> SpinGuard<'_> {
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        SpinGuard { lock: self }
+    }
+}
+
+pub(crate) struct SpinGuard<'a> {
+    lock: &'a SpinLock,
+}
+
+impl Drop for SpinGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Capacity of the live-pointer registry (patched allocations only).
+pub(crate) const REGISTRY_CAP: usize = 4096;
+
+/// What the registry remembers about one live *patched* allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Entry {
+    /// User pointer (the registry key; 0 = empty, 1 = tombstone).
+    pub ptr: usize,
+    /// `mmap` region base for guarded allocations (0 for system ones).
+    pub region: usize,
+    /// `mmap` region length (0 for system allocations).
+    pub region_len: usize,
+    /// The vulnerability bits this allocation was enhanced with.
+    pub vuln: u8,
+    /// Original layout size (for quarantine accounting / system dealloc).
+    pub size: usize,
+    /// Original layout alignment.
+    pub align: usize,
+}
+
+const EMPTY: usize = 0;
+const TOMBSTONE: usize = 1;
+
+/// Fixed-capacity open-addressing map from user pointer to [`Entry`].
+pub(crate) struct Registry {
+    lock: SpinLock,
+    entries: std::cell::UnsafeCell<[Entry; REGISTRY_CAP]>,
+}
+
+// Access is serialized through the spin lock.
+unsafe impl Sync for Registry {}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+const EMPTY_ENTRY: Entry = Entry {
+    ptr: EMPTY,
+    region: 0,
+    region_len: 0,
+    vuln: 0,
+    size: 0,
+    align: 0,
+};
+
+impl Registry {
+    pub(crate) const fn new() -> Self {
+        Self {
+            lock: SpinLock::new(),
+            entries: std::cell::UnsafeCell::new([EMPTY_ENTRY; REGISTRY_CAP]),
+        }
+    }
+
+    fn slot_of(ptr: usize) -> usize {
+        // Fibonacci hashing over the pointer bits.
+        (ptr.wrapping_mul(0x9E3779B97F4A7C15)) >> (64 - 12) // log2(4096)
+    }
+
+    /// Inserts an entry. Returns `false` (defense skipped, fail-open) when
+    /// the table is full.
+    pub(crate) fn insert(&self, e: Entry) -> bool {
+        debug_assert!(e.ptr > TOMBSTONE);
+        let _g = self.lock.lock();
+        let entries = unsafe { &mut *self.entries.get() };
+        let start = Self::slot_of(e.ptr);
+        for i in 0..REGISTRY_CAP {
+            let s = (start + i) % REGISTRY_CAP;
+            if entries[s].ptr == EMPTY || entries[s].ptr == TOMBSTONE {
+                entries[s] = e;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes and returns the entry for `ptr`, if present.
+    pub(crate) fn remove(&self, ptr: usize) -> Option<Entry> {
+        let _g = self.lock.lock();
+        let entries = unsafe { &mut *self.entries.get() };
+        let start = Self::slot_of(ptr);
+        for i in 0..REGISTRY_CAP {
+            let s = (start + i) % REGISTRY_CAP;
+            match entries[s].ptr {
+                p if p == ptr => {
+                    let e = entries[s];
+                    entries[s].ptr = TOMBSTONE;
+                    return Some(e);
+                }
+                EMPTY => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Looks up the entry for `ptr` without removing it.
+    pub(crate) fn get(&self, ptr: usize) -> Option<Entry> {
+        let _g = self.lock.lock();
+        let entries = unsafe { &*self.entries.get() };
+        let start = Self::slot_of(ptr);
+        for i in 0..REGISTRY_CAP {
+            let s = (start + i) % REGISTRY_CAP;
+            match entries[s].ptr {
+                p if p == ptr => return Some(entries[s]),
+                EMPTY => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Capacity of the deferred-free ring.
+pub(crate) const QUARANTINE_CAP: usize = 512;
+
+/// Fixed-capacity FIFO of deferred frees.
+pub(crate) struct QuarantineRing {
+    lock: SpinLock,
+    state: std::cell::UnsafeCell<RingState>,
+}
+
+unsafe impl Sync for QuarantineRing {}
+
+impl std::fmt::Debug for QuarantineRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuarantineRing").finish_non_exhaustive()
+    }
+}
+
+struct RingState {
+    slots: [Entry; QUARANTINE_CAP],
+    head: usize,
+    len: usize,
+    bytes: usize,
+}
+
+impl QuarantineRing {
+    pub(crate) const fn new() -> Self {
+        Self {
+            lock: SpinLock::new(),
+            state: std::cell::UnsafeCell::new(RingState {
+                slots: [EMPTY_ENTRY; QUARANTINE_CAP],
+                head: 0,
+                len: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Pushes a block; returns up to two entries that must be released now
+    /// (quota or capacity overflow), oldest first.
+    pub(crate) fn push(&self, e: Entry, quota: usize) -> [Option<Entry>; 2] {
+        let _g = self.lock.lock();
+        let st = unsafe { &mut *self.state.get() };
+        let mut out = [None, None];
+        let mut n = 0;
+        // Capacity eviction first.
+        if st.len == QUARANTINE_CAP {
+            out[n] = Some(Self::pop_locked(st));
+            n += 1;
+        }
+        let tail = (st.head + st.len) % QUARANTINE_CAP;
+        st.slots[tail] = e;
+        st.len += 1;
+        st.bytes += e.size;
+        while st.bytes > quota && st.len > 0 && n < 2 {
+            out[n] = Some(Self::pop_locked(st));
+            n += 1;
+        }
+        out
+    }
+
+    fn pop_locked(st: &mut RingState) -> Entry {
+        let e = st.slots[st.head];
+        st.head = (st.head + 1) % QUARANTINE_CAP;
+        st.len -= 1;
+        st.bytes -= e.size;
+        e
+    }
+
+    /// Current (blocks, bytes).
+    pub(crate) fn usage(&self) -> (usize, usize) {
+        let _g = self.lock.lock();
+        let st = unsafe { &*self.state.get() };
+        (st.len, st.bytes)
+    }
+
+    /// Whether `ptr` is currently quarantined.
+    pub(crate) fn contains(&self, ptr: usize) -> bool {
+        let _g = self.lock.lock();
+        let st = unsafe { &*self.state.get() };
+        (0..st.len).any(|i| st.slots[(st.head + i) % QUARANTINE_CAP].ptr == ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ptr: usize, size: usize) -> Entry {
+        Entry {
+            ptr,
+            region: 0,
+            region_len: 0,
+            vuln: 0,
+            size,
+            align: 8,
+        }
+    }
+
+    #[test]
+    fn registry_insert_get_remove() {
+        let r = Registry::new();
+        assert!(r.insert(e(0x1000, 64)));
+        assert_eq!(r.get(0x1000).unwrap().size, 64);
+        assert_eq!(r.remove(0x1000).unwrap().size, 64);
+        assert!(r.get(0x1000).is_none());
+        assert!(r.remove(0x1000).is_none());
+    }
+
+    #[test]
+    fn registry_handles_collisions_and_tombstones() {
+        let r = Registry::new();
+        // Many pointers; some will collide in a 4096-slot table.
+        for i in 0..1000usize {
+            assert!(r.insert(e(0x10000 + i * 16, i)));
+        }
+        for i in (0..1000usize).step_by(2) {
+            assert_eq!(r.remove(0x10000 + i * 16).unwrap().size, i);
+        }
+        for i in (1..1000usize).step_by(2) {
+            assert_eq!(
+                r.get(0x10000 + i * 16).unwrap().size,
+                i,
+                "survives tombstones"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_full_fails_open() {
+        let r = Registry::new();
+        let mut inserted = 0;
+        for i in 0..REGISTRY_CAP + 10 {
+            if r.insert(e(0x100000 + i * 8, 1)) {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, REGISTRY_CAP);
+    }
+
+    #[test]
+    fn ring_fifo_and_quota() {
+        let q = QuarantineRing::new();
+        assert_eq!(q.push(e(1, 60), 100), [None, None]);
+        assert!(q.contains(1));
+        let evicted = q.push(e(2, 60), 100);
+        assert_eq!(evicted[0].map(|x| x.ptr), Some(1));
+        assert!(!q.contains(1));
+        assert_eq!(q.usage(), (1, 60));
+    }
+
+    #[test]
+    fn ring_capacity_eviction() {
+        let q = QuarantineRing::new();
+        for i in 0..QUARANTINE_CAP {
+            assert_eq!(q.push(e(100 + i, 1), usize::MAX), [None, None]);
+        }
+        let evicted = q.push(e(9999, 1), usize::MAX);
+        assert_eq!(evicted[0].map(|x| x.ptr), Some(100), "oldest evicted");
+        assert_eq!(q.usage().0, QUARANTINE_CAP);
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let lock = Arc::new(SpinLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = lock.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let _g = lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+}

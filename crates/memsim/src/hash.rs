@@ -1,0 +1,83 @@
+//! A fast multiply-shift hasher for the simulator's hot maps.
+//!
+//! Page-number and block-address keys are single `u64`s hit on every
+//! simulated memory access; SipHash (std's default) costs more than the
+//! simulated work itself and would distort every overhead measurement.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher specialized for integer keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for composite keys: FNV-style fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001B3);
+        }
+        self.0 = self.0.wrapping_mul(0x9E3779B97F4A7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E3779B97F4A7C15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` keyed through [`U64Hasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<U64Hasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_like_a_map() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+        m.remove(&0);
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        use std::hash::Hash;
+        let mut outs = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = U64Hasher::default();
+            i.hash(&mut h);
+            outs.insert(h.finish() >> 52); // top 12 bits
+        }
+        assert!(outs.len() > 3000, "top bits vary: {}", outs.len());
+    }
+}

@@ -1,0 +1,619 @@
+//! The sparse, permission-checked address space.
+
+use crate::hash::FastMap;
+use std::fmt;
+
+/// Simulated page size: 4 KiB, matching the paper's guard-page math
+/// (a guard page is 2¹²-byte aligned; 48 − 12 = 36 bits locate it).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A simulated virtual address.
+pub type Addr = u64;
+
+/// Page protection, the subset of `mprotect` flags the defenses need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perm {
+    /// Inaccessible (`PROT_NONE`) — guard pages, red zones, freed blocks.
+    None,
+    /// Read-only (`PROT_READ`) — e.g. the frozen patch table.
+    Read,
+    /// Read/write (`PROT_READ|PROT_WRITE`) — ordinary heap memory.
+    ReadWrite,
+}
+
+impl Perm {
+    fn allows_read(self) -> bool {
+        !matches!(self, Perm::None)
+    }
+    fn allows_write(self) -> bool {
+        matches!(self, Perm::ReadWrite)
+    }
+}
+
+/// The reason an access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The page is not mapped at all (wild pointer).
+    Unmapped,
+    /// The page is mapped but not readable.
+    ReadProtected,
+    /// The page is mapped but not writable.
+    WriteProtected,
+}
+
+/// A simulated memory fault — the SIGSEGV of this substrate.
+///
+/// Accesses perform partial work up to the faulting byte, exactly like a real
+/// CPU: an overflowing `memcpy` corrupts everything before the guard page and
+/// then traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// First faulting address.
+    pub addr: Addr,
+    /// Why the access faulted.
+    pub kind: FaultKind,
+    /// Bytes successfully transferred before the fault.
+    pub completed: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault at {:#x} ({:?}) after {} bytes",
+            self.addr, self.kind, self.completed
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[derive(Debug, Clone)]
+struct Page {
+    perm: Perm,
+    data: Box<[u8]>,
+    dirty: bool,
+}
+
+/// Usage statistics for an [`AddressSpace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceStats {
+    /// Currently mapped bytes (virtual size).
+    pub mapped_bytes: u64,
+    /// Currently dirtied bytes (the RSS proxy).
+    pub rss_bytes: u64,
+    /// High-water mark of `rss_bytes`.
+    pub peak_rss_bytes: u64,
+    /// Total `map` calls.
+    pub maps: u64,
+    /// Total `protect` calls.
+    pub protects: u64,
+}
+
+/// A sparse, paged, permission-checked 64-bit address space.
+///
+/// Regions are handed out by a bump pointer starting high (like `mmap`
+/// placements) so simulated heap addresses never collide with zero.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    pages: FastMap<u64, Page>,
+    next_map: Addr,
+    stats: SpaceStats,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// Base of the simulated mapping area.
+    pub const MAP_BASE: Addr = 0x7f00_0000_0000;
+
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self {
+            pages: FastMap::default(),
+            next_map: Self::MAP_BASE,
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Maps `len` bytes (rounded up to whole pages) with permission `perm`
+    /// and returns the page-aligned base address.
+    ///
+    /// Fresh pages are zero-filled, like anonymous `mmap`.
+    pub fn map(&mut self, len: u64, perm: Perm) -> Addr {
+        let len = crate::align_up(len.max(1), PAGE_SIZE);
+        let base = self.next_map;
+        self.next_map += len + PAGE_SIZE; // leave an unmapped gap between regions
+        for pno in (base / PAGE_SIZE)..((base + len) / PAGE_SIZE) {
+            self.pages.insert(
+                pno,
+                Page {
+                    perm,
+                    data: vec![0u8; PAGE_SIZE as usize].into_boxed_slice(),
+                    dirty: false,
+                },
+            );
+        }
+        self.stats.mapped_bytes += len;
+        self.stats.maps += 1;
+        base
+    }
+
+    /// Unmaps `len` bytes starting at the page containing `addr`.
+    ///
+    /// Unmapping pages that are not mapped is a no-op (like `munmap`).
+    pub fn unmap(&mut self, addr: Addr, len: u64) {
+        let len = crate::align_up(len.max(1), PAGE_SIZE);
+        for pno in (addr / PAGE_SIZE)..((addr + len) / PAGE_SIZE) {
+            if let Some(p) = self.pages.remove(&pno) {
+                self.stats.mapped_bytes -= PAGE_SIZE;
+                if p.dirty {
+                    self.stats.rss_bytes -= PAGE_SIZE;
+                }
+            }
+        }
+    }
+
+    /// Changes the protection of the pages covering `[addr, addr+len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] with [`FaultKind::Unmapped`] if any page in the
+    /// range is not mapped (like `mprotect` returning `ENOMEM`).
+    pub fn protect(&mut self, addr: Addr, len: u64, perm: Perm) -> Result<(), MemFault> {
+        let len = crate::align_up(len.max(1), PAGE_SIZE);
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for pno in first..=last {
+            if !self.pages.contains_key(&pno) {
+                return Err(MemFault {
+                    addr: pno * PAGE_SIZE,
+                    kind: FaultKind::Unmapped,
+                    completed: 0,
+                });
+            }
+        }
+        for pno in first..=last {
+            self.pages.get_mut(&pno).unwrap().perm = perm;
+        }
+        self.stats.protects += 1;
+        Ok(())
+    }
+
+    /// The protection of the page containing `addr`, if mapped.
+    pub fn perm_at(&self, addr: Addr) -> Option<Perm> {
+        self.pages.get(&(addr / PAGE_SIZE)).map(|p| p.perm)
+    }
+
+    /// Permission-checked read into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first unreadable byte; `completed` bytes were copied.
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemFault> {
+        let mut done = 0u64;
+        while (done as usize) < buf.len() {
+            let a = addr + done;
+            let pno = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let page = match self.pages.get(&pno) {
+                Some(p) if p.perm.allows_read() => p,
+                Some(_) => {
+                    return Err(MemFault {
+                        addr: a,
+                        kind: FaultKind::ReadProtected,
+                        completed: done,
+                    })
+                }
+                None => {
+                    return Err(MemFault {
+                        addr: a,
+                        kind: FaultKind::Unmapped,
+                        completed: done,
+                    })
+                }
+            };
+            let n = (PAGE_SIZE as usize - off).min(buf.len() - done as usize);
+            buf[done as usize..done as usize + n].copy_from_slice(&page.data[off..off + n]);
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Permission-checked write of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the first unwritable byte; `completed` bytes were written
+    /// (partial writes persist — a trapped overflow has already corrupted the
+    /// bytes before the guard page, as on real hardware).
+    pub fn write(&mut self, addr: Addr, data: &[u8]) -> Result<(), MemFault> {
+        let mut done = 0u64;
+        while (done as usize) < data.len() {
+            let a = addr + done;
+            let pno = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let page = match self.pages.get_mut(&pno) {
+                Some(p) if p.perm.allows_write() => p,
+                Some(_) => {
+                    return Err(MemFault {
+                        addr: a,
+                        kind: FaultKind::WriteProtected,
+                        completed: done,
+                    })
+                }
+                None => {
+                    return Err(MemFault {
+                        addr: a,
+                        kind: FaultKind::Unmapped,
+                        completed: done,
+                    })
+                }
+            };
+            if !page.dirty {
+                page.dirty = true;
+                self.stats.rss_bytes += PAGE_SIZE;
+                self.stats.peak_rss_bytes = self.stats.peak_rss_bytes.max(self.stats.rss_bytes);
+            }
+            let n = (PAGE_SIZE as usize - off).min(data.len() - done as usize);
+            page.data[off..off + n].copy_from_slice(&data[done as usize..done as usize + n]);
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Permission-checked fill of `len` bytes with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Same semantics as [`AddressSpace::write`].
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemFault> {
+        // Page-at-a-time to avoid materializing `len` bytes.
+        let mut done = 0u64;
+        let chunk = [0u8; 256];
+        let _ = chunk;
+        while done < len {
+            let n = (PAGE_SIZE - (addr + done) % PAGE_SIZE).min(len - done);
+            let buf = vec![byte; n as usize];
+            self.write(addr + done, &buf).map_err(|mut f| {
+                f.completed += done;
+                f
+            })?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64`, permission-checked.
+    ///
+    /// # Errors
+    ///
+    /// Same semantics as [`AddressSpace::read`].
+    pub fn read_u64(&self, addr: Addr) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`, permission-checked.
+    ///
+    /// # Errors
+    ///
+    /// Same semantics as [`AddressSpace::write`].
+    pub fn write_u64(&mut self, addr: Addr, v: u64) -> Result<(), MemFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Privileged read that ignores permissions (kernel/allocator view).
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn read_raw(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemFault> {
+        let mut done = 0u64;
+        while (done as usize) < buf.len() {
+            let a = addr + done;
+            let pno = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let page = self.pages.get(&pno).ok_or(MemFault {
+                addr: a,
+                kind: FaultKind::Unmapped,
+                completed: done,
+            })?;
+            let n = (PAGE_SIZE as usize - off).min(buf.len() - done as usize);
+            buf[done as usize..done as usize + n].copy_from_slice(&page.data[off..off + n]);
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Privileged write that ignores permissions (kernel/allocator view).
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn write_raw(&mut self, addr: Addr, data: &[u8]) -> Result<(), MemFault> {
+        let mut done = 0u64;
+        while (done as usize) < data.len() {
+            let a = addr + done;
+            let pno = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let (dirty, n) = {
+                let page = self.pages.get_mut(&pno).ok_or(MemFault {
+                    addr: a,
+                    kind: FaultKind::Unmapped,
+                    completed: done,
+                })?;
+                let n = (PAGE_SIZE as usize - off).min(data.len() - done as usize);
+                page.data[off..off + n].copy_from_slice(&data[done as usize..done as usize + n]);
+                let was_dirty = page.dirty;
+                page.dirty = true;
+                (was_dirty, n)
+            };
+            if !dirty {
+                self.stats.rss_bytes += PAGE_SIZE;
+                self.stats.peak_rss_bytes = self.stats.peak_rss_bytes.max(self.stats.rss_bytes);
+            }
+            done += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Privileged `u64` read (ignores permissions).
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn read_u64_raw(&self, addr: Addr) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read_raw(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Privileged `u64` write (ignores permissions).
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn write_u64_raw(&mut self, addr: Addr, v: u64) -> Result<(), MemFault> {
+        self.write_raw(addr, &v.to_le_bytes())
+    }
+
+    /// Copies `len` bytes between (possibly overlapping) mapped ranges,
+    /// ignoring permissions — used by `realloc` internally.
+    ///
+    /// # Errors
+    ///
+    /// Faults only on unmapped pages.
+    pub fn copy_raw(&mut self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_raw(src, &mut buf)?;
+        self.write_raw(dst, &buf)
+    }
+
+    /// Current usage statistics.
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+
+    /// Dirtied bytes — the resident-set-size proxy.
+    pub fn rss_bytes(&self) -> u64 {
+        self.stats.rss_bytes
+    }
+
+    /// Mapped bytes (virtual size).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.stats.mapped_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_page_aligned_zeroed_memory() {
+        let mut s = AddressSpace::new();
+        let a = s.map(100, Perm::ReadWrite);
+        assert_eq!(a % PAGE_SIZE, 0);
+        let mut buf = [1u8; 16];
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(s.mapped_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn regions_do_not_touch() {
+        let mut s = AddressSpace::new();
+        let a = s.map(PAGE_SIZE, Perm::ReadWrite);
+        let b = s.map(PAGE_SIZE, Perm::ReadWrite);
+        assert!(b >= a + 2 * PAGE_SIZE, "guard gap between mappings");
+        // The gap is unmapped.
+        assert!(s.read_u64(a + PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        let data: Vec<u8> = (0..=255).collect();
+        // Straddle the page boundary.
+        s.write(a + PAGE_SIZE - 100, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        s.read(a + PAGE_SIZE - 100, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let s = AddressSpace::new();
+        let mut b = [0u8; 1];
+        let err = s.read(0xdead_0000, &mut b).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.completed, 0);
+    }
+
+    #[test]
+    fn protect_none_blocks_reads_and_writes() {
+        let mut s = AddressSpace::new();
+        let a = s.map(PAGE_SIZE, Perm::ReadWrite);
+        s.protect(a, PAGE_SIZE, Perm::None).unwrap();
+        let mut b = [0u8; 1];
+        assert_eq!(
+            s.read(a, &mut b).unwrap_err().kind,
+            FaultKind::ReadProtected
+        );
+        assert_eq!(
+            s.write(a, &[1]).unwrap_err().kind,
+            FaultKind::WriteProtected
+        );
+        // Raw access still works (allocator view).
+        s.write_raw(a, &[7]).unwrap();
+        s.read_raw(a, &mut b).unwrap();
+        assert_eq!(b[0], 7);
+    }
+
+    #[test]
+    fn read_only_blocks_writes_only() {
+        let mut s = AddressSpace::new();
+        let a = s.map(PAGE_SIZE, Perm::ReadWrite);
+        s.write(a, &[42]).unwrap();
+        s.protect(a, PAGE_SIZE, Perm::Read).unwrap();
+        let mut b = [0u8; 1];
+        s.read(a, &mut b).unwrap();
+        assert_eq!(b[0], 42);
+        assert_eq!(
+            s.write(a, &[1]).unwrap_err().kind,
+            FaultKind::WriteProtected
+        );
+    }
+
+    #[test]
+    fn partial_write_persists_up_to_fault() {
+        // Two pages: RW then PROT_NONE (a guard). A 16-byte write starting 8
+        // bytes before the guard writes 8 bytes and then traps — exactly the
+        // paper's "overflow stopped at the guard page".
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        let guard = a + PAGE_SIZE;
+        s.protect(guard, PAGE_SIZE, Perm::None).unwrap();
+        let err = s.write(guard - 8, &[0xAA; 16]).unwrap_err();
+        assert_eq!(err.kind, FaultKind::WriteProtected);
+        assert_eq!(err.completed, 8);
+        assert_eq!(err.addr, guard);
+        let mut b = [0u8; 8];
+        s.read(guard - 8, &mut b).unwrap();
+        assert_eq!(b, [0xAA; 8]);
+    }
+
+    #[test]
+    fn fill_and_u64_helpers() {
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        s.fill(a, PAGE_SIZE + 10, 0x5A).unwrap();
+        let mut b = [0u8; 1];
+        s.read(a + PAGE_SIZE + 9, &mut b).unwrap();
+        assert_eq!(b[0], 0x5A);
+        s.write_u64(a, 0xDEADBEEF).unwrap();
+        assert_eq!(s.read_u64(a).unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn fill_reports_total_completed_on_fault() {
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        s.protect(a + PAGE_SIZE, PAGE_SIZE, Perm::None).unwrap();
+        let err = s.fill(a, 2 * PAGE_SIZE, 1).unwrap_err();
+        assert_eq!(err.completed, PAGE_SIZE);
+    }
+
+    #[test]
+    fn rss_counts_dirty_pages_only() {
+        let mut s = AddressSpace::new();
+        let a = s.map(4 * PAGE_SIZE, Perm::ReadWrite);
+        assert_eq!(s.rss_bytes(), 0, "mapping alone is not resident");
+        s.write(a, &[1]).unwrap();
+        assert_eq!(s.rss_bytes(), PAGE_SIZE);
+        s.write(a + 1, &[2]).unwrap();
+        assert_eq!(s.rss_bytes(), PAGE_SIZE, "same page stays one page");
+        s.write(a + 3 * PAGE_SIZE, &[3]).unwrap();
+        assert_eq!(s.rss_bytes(), 2 * PAGE_SIZE);
+        assert_eq!(s.stats().peak_rss_bytes, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn unmap_releases_rss_and_mapping() {
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        s.write(a, &[1]).unwrap();
+        s.unmap(a, 2 * PAGE_SIZE);
+        assert_eq!(s.rss_bytes(), 0);
+        assert_eq!(s.mapped_bytes(), 0);
+        assert!(s.read_u64(a).is_err());
+    }
+
+    #[test]
+    fn protect_unmapped_range_errors() {
+        let mut s = AddressSpace::new();
+        let err = s.protect(0x1000, PAGE_SIZE, Perm::None).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+    }
+
+    #[test]
+    fn perm_at_reports_current_permission() {
+        let mut s = AddressSpace::new();
+        let a = s.map(PAGE_SIZE, Perm::ReadWrite);
+        assert_eq!(s.perm_at(a), Some(Perm::ReadWrite));
+        s.protect(a, PAGE_SIZE, Perm::None).unwrap();
+        assert_eq!(s.perm_at(a), Some(Perm::None));
+        assert_eq!(s.perm_at(0x42), None);
+    }
+
+    #[test]
+    fn fault_display_mentions_address() {
+        let f = MemFault {
+            addr: 0x1234,
+            kind: FaultKind::Unmapped,
+            completed: 3,
+        };
+        let s = f.to_string();
+        assert!(s.contains("0x1234") && s.contains("3 bytes"), "{s}");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn write_read_round_trip(
+                off in 0u64..8192,
+                data in proptest::collection::vec(any::<u8>(), 1..512),
+            ) {
+                let mut s = AddressSpace::new();
+                let a = s.map(4 * PAGE_SIZE, Perm::ReadWrite);
+                s.write(a + off, &data).unwrap();
+                let mut back = vec![0u8; data.len()];
+                s.read(a + off, &mut back).unwrap();
+                prop_assert_eq!(back, data);
+            }
+
+            #[test]
+            fn rss_never_exceeds_mapped(
+                writes in proptest::collection::vec((0u64..16384, any::<u8>()), 1..64),
+            ) {
+                let mut s = AddressSpace::new();
+                let a = s.map(8 * PAGE_SIZE, Perm::ReadWrite);
+                for (off, byte) in writes {
+                    let off = off % (8 * PAGE_SIZE);
+                    s.write(a + off, &[byte]).unwrap();
+                    prop_assert!(s.rss_bytes() <= s.mapped_bytes());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Heap patches as configuration (paper Sections V–VI).
+//!
+//! A HeapTherapy+ patch is a tuple `{FUN, CCID, T}`:
+//!
+//! * `FUN` — the [`AllocFn`] used to request the vulnerable buffer,
+//! * `CCID` — the allocation-time calling-context ID,
+//! * `T` — a three-bit [`VulnFlags`] value naming the vulnerability type(s):
+//!   overflow, use-after-free, uninitialized read.
+//!
+//! Patches are *code-less*: installing one never alters the program. They
+//! live in a configuration file ([`config`]) that the online defense loads at
+//! startup into a [`PatchTable`] — a frozen hash table probed in O(1) on
+//! every allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use ht_patch::{AllocFn, Patch, PatchTable, VulnFlags};
+//!
+//! let patch = Patch::new(AllocFn::Malloc, 0x1234, VulnFlags::OVERFLOW);
+//! let table = PatchTable::from_patches([patch]);
+//! assert_eq!(
+//!     table.lookup(AllocFn::Malloc, 0x1234),
+//!     Some(VulnFlags::OVERFLOW)
+//! );
+//! assert_eq!(table.lookup(AllocFn::Malloc, 0x9999), None);
+//! ```
+
+pub mod config;
+pub mod table;
+pub mod vuln;
+
+pub use config::{from_config_json, from_config_text, to_config_json, to_config_text, ConfigError};
+pub use table::PatchTable;
+pub use vuln::{AllocFn, VulnFlags};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One heap patch: `{FUN, CCID, T}` plus optional provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Patch {
+    /// The allocation API through which the vulnerable buffer is requested.
+    pub alloc_fn: AllocFn,
+    /// The allocation-time calling-context ID of the vulnerable buffer.
+    pub ccid: u64,
+    /// Vulnerability type bits: which defenses to apply.
+    pub vuln: VulnFlags,
+    /// Free-form provenance (e.g. the CVE id the attack input exploited).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub origin: String,
+}
+
+impl Patch {
+    /// A patch without provenance.
+    pub fn new(alloc_fn: AllocFn, ccid: u64, vuln: VulnFlags) -> Self {
+        Self {
+            alloc_fn,
+            ccid,
+            vuln,
+            origin: String::new(),
+        }
+    }
+
+    /// Attaches provenance (builder style).
+    #[must_use]
+    pub fn with_origin(mut self, origin: impl Into<String>) -> Self {
+        self.origin = origin.into();
+        self
+    }
+
+    /// The hash-table key of this patch.
+    pub fn key(&self) -> (AllocFn, u64) {
+        (self.alloc_fn, self.ccid)
+    }
+}
+
+impl fmt::Display for Patch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {:#x}, {}}}", self.alloc_fn, self.ccid, self.vuln)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_display_matches_paper_form() {
+        let p = Patch::new(
+            AllocFn::Malloc,
+            0xab,
+            VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ,
+        );
+        assert_eq!(p.to_string(), "{malloc, 0xab, OF|UR}");
+    }
+
+    #[test]
+    fn key_combines_fun_and_ccid() {
+        let p = Patch::new(AllocFn::Memalign, 7, VulnFlags::USE_AFTER_FREE);
+        assert_eq!(p.key(), (AllocFn::Memalign, 7));
+    }
+
+    #[test]
+    fn origin_builder() {
+        let p = Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW).with_origin("CVE-2014-0160");
+        assert_eq!(p.origin, "CVE-2014-0160");
+    }
+}

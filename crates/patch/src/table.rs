@@ -1,0 +1,138 @@
+//! The frozen online patch table.
+
+use crate::{AllocFn, Patch, VulnFlags};
+use std::collections::HashMap;
+
+/// The hash table the online defense probes on every allocation.
+///
+/// Built once at program initialization from the configuration file and then
+/// frozen (the paper `mprotect`s its pages read-only; here immutability is
+/// enforced by the type: there is no mutating method). Lookup is O(1) on the
+/// `(FUN, CCID)` key.
+///
+/// Duplicate keys merge their vulnerability bits — an input exploiting
+/// multiple vulnerabilities of one buffer yields one entry with several bits
+/// set (paper Section V, "How to handle multiple vulnerabilities").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatchTable {
+    entries: HashMap<(AllocFn, u64), VulnFlags>,
+}
+
+impl PatchTable {
+    /// An empty table (no buffer is considered vulnerable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from patches, merging duplicates.
+    pub fn from_patches<I: IntoIterator<Item = Patch>>(patches: I) -> Self {
+        let mut entries: HashMap<(AllocFn, u64), VulnFlags> = HashMap::new();
+        for p in patches {
+            *entries.entry(p.key()).or_insert(VulnFlags::NONE) |= p.vuln;
+        }
+        Self { entries }
+    }
+
+    /// O(1) probe: is a buffer allocated via `fun` under context `ccid`
+    /// vulnerable, and to what?
+    #[inline]
+    pub fn lookup(&self, fun: AllocFn, ccid: u64) -> Option<VulnFlags> {
+        self.entries.get(&(fun, ccid)).copied()
+    }
+
+    /// Number of distinct `(FUN, CCID)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no patches.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (AllocFn, u64, VulnFlags)> + '_ {
+        self.entries.iter().map(|(&(f, c), &v)| (f, c, v))
+    }
+}
+
+impl FromIterator<Patch> for PatchTable {
+    fn from_iter<I: IntoIterator<Item = Patch>>(iter: I) -> Self {
+        Self::from_patches(iter)
+    }
+}
+
+impl Extend<Patch> for PatchTable {
+    fn extend<I: IntoIterator<Item = Patch>>(&mut self, iter: I) {
+        for p in iter {
+            *self.entries.entry(p.key()).or_insert(VulnFlags::NONE) |= p.vuln;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let t = PatchTable::from_patches([
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+            Patch::new(AllocFn::Calloc, 2, VulnFlags::UNINIT_READ),
+        ]);
+        assert_eq!(t.lookup(AllocFn::Malloc, 1), Some(VulnFlags::OVERFLOW));
+        assert_eq!(t.lookup(AllocFn::Calloc, 2), Some(VulnFlags::UNINIT_READ));
+        assert_eq!(t.lookup(AllocFn::Malloc, 2), None, "key includes FUN");
+        assert_eq!(t.lookup(AllocFn::Calloc, 1), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_merge_bits() {
+        let t = PatchTable::from_patches([
+            Patch::new(AllocFn::Malloc, 9, VulnFlags::OVERFLOW),
+            Patch::new(AllocFn::Malloc, 9, VulnFlags::UNINIT_READ),
+        ]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.lookup(AllocFn::Malloc, 9),
+            Some(VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ)
+        );
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = PatchTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(AllocFn::Malloc, 0), None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: PatchTable = [Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW)]
+            .into_iter()
+            .collect();
+        t.extend([Patch::new(AllocFn::Malloc, 1, VulnFlags::USE_AFTER_FREE)]);
+        assert_eq!(
+            t.lookup(AllocFn::Malloc, 1),
+            Some(VulnFlags::OVERFLOW | VulnFlags::USE_AFTER_FREE)
+        );
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let t = PatchTable::from_patches([
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+            Patch::new(AllocFn::Realloc, 2, VulnFlags::ALL),
+        ]);
+        let mut got: Vec<_> = t.iter().collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+                (AllocFn::Realloc, 2, VulnFlags::ALL),
+            ]
+        );
+    }
+}

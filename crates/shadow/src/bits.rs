@@ -1,0 +1,193 @@
+//! Shadow bit planes: A-bits (accessibility, per byte) and V-bits
+//! (validity, per bit).
+
+use ht_memsim::FastMap;
+use ht_memsim::{Addr, PAGE_SIZE};
+
+const PAGE: usize = PAGE_SIZE as usize;
+
+struct ShadowPage {
+    /// One validity mask byte per data byte (bit i ⇔ bit i of that byte).
+    vbits: Box<[u8]>,
+    /// One accessibility bit per data byte.
+    abits: Box<[u8]>,
+}
+
+impl ShadowPage {
+    fn new() -> Self {
+        Self {
+            vbits: vec![0u8; PAGE].into_boxed_slice(),
+            abits: vec![0u8; PAGE / 8].into_boxed_slice(),
+        }
+    }
+}
+
+/// The shadow planes for the whole address space.
+///
+/// Untracked memory is inaccessible and invalid — the analyzer marks heap
+/// regions explicitly on every allocation event.
+#[derive(Default)]
+pub struct ShadowBits {
+    pages: FastMap<u64, ShadowPage>,
+}
+
+impl std::fmt::Debug for ShadowBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShadowBits")
+            .field("tracked_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl ShadowBits {
+    /// Empty shadow (everything inaccessible/invalid).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page_mut(&mut self, pno: u64) -> &mut ShadowPage {
+        self.pages.entry(pno).or_insert_with(ShadowPage::new)
+    }
+
+    /// Marks `[addr, addr+len)` accessible or inaccessible.
+    pub fn set_accessible(&mut self, addr: Addr, len: u64, accessible: bool) {
+        for a in addr..addr + len {
+            let p = self.page_mut(a / PAGE_SIZE);
+            let off = (a % PAGE_SIZE) as usize;
+            if accessible {
+                p.abits[off / 8] |= 1 << (off % 8);
+            } else {
+                p.abits[off / 8] &= !(1 << (off % 8));
+            }
+        }
+    }
+
+    /// Whether the byte at `addr` is accessible.
+    pub fn is_accessible(&self, addr: Addr) -> bool {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => {
+                let off = (addr % PAGE_SIZE) as usize;
+                p.abits[off / 8] & (1 << (off % 8)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// First inaccessible byte in `[addr, addr+len)`, if any.
+    pub fn first_inaccessible(&self, addr: Addr, len: u64) -> Option<Addr> {
+        (addr..addr + len).find(|&a| !self.is_accessible(a))
+    }
+
+    /// Marks every bit of `[addr, addr+len)` valid or invalid.
+    pub fn set_valid(&mut self, addr: Addr, len: u64, valid: bool) {
+        let fill = if valid { 0xFF } else { 0x00 };
+        for a in addr..addr + len {
+            let p = self.page_mut(a / PAGE_SIZE);
+            p.vbits[(a % PAGE_SIZE) as usize] = fill;
+        }
+    }
+
+    /// The validity mask of the byte at `addr` (bit i set ⇔ bit i valid).
+    pub fn vmask(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => p.vbits[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Sets the validity mask of the byte at `addr`.
+    pub fn set_vmask(&mut self, addr: Addr, mask: u8) {
+        self.page_mut(addr / PAGE_SIZE).vbits[(addr % PAGE_SIZE) as usize] = mask;
+    }
+
+    /// First byte in `[addr, addr+len)` with any invalid bit, if any.
+    pub fn first_invalid(&self, addr: Addr, len: u64) -> Option<Addr> {
+        (addr..addr + len).find(|&a| self.vmask(a) != 0xFF)
+    }
+
+    /// Copies validity masks for `len` bytes from `src` to `dst`
+    /// (realloc's content copy must carry validity along).
+    pub fn copy_valid(&mut self, src: Addr, dst: Addr, len: u64) {
+        // Collect first: src and dst may share pages.
+        let masks: Vec<u8> = (0..len).map(|i| self.vmask(src + i)).collect();
+        for (i, m) in masks.into_iter().enumerate() {
+            self.set_vmask(dst + i as u64, m);
+        }
+    }
+
+    /// Number of shadow pages materialized (memory-cost proxy for the
+    /// paper's observation that shadow memory is heavyweight).
+    pub fn tracked_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inaccessible_and_invalid() {
+        let s = ShadowBits::new();
+        assert!(!s.is_accessible(0x1000));
+        assert_eq!(s.vmask(0x1000), 0);
+        assert_eq!(s.first_inaccessible(0x1000, 4), Some(0x1000));
+        assert_eq!(s.first_invalid(0x1000, 4), Some(0x1000));
+    }
+
+    #[test]
+    fn accessibility_round_trip() {
+        let mut s = ShadowBits::new();
+        s.set_accessible(100, 10, true);
+        assert!(s.is_accessible(100));
+        assert!(s.is_accessible(109));
+        assert!(!s.is_accessible(99));
+        assert!(!s.is_accessible(110));
+        assert_eq!(s.first_inaccessible(100, 10), None);
+        assert_eq!(s.first_inaccessible(100, 11), Some(110));
+        s.set_accessible(105, 1, false);
+        assert_eq!(s.first_inaccessible(100, 10), Some(105));
+    }
+
+    #[test]
+    fn validity_round_trip() {
+        let mut s = ShadowBits::new();
+        s.set_valid(200, 8, true);
+        assert_eq!(s.first_invalid(200, 8), None);
+        s.set_vmask(203, 0b0111_1111);
+        assert_eq!(s.first_invalid(200, 8), Some(203), "bit precision");
+        s.set_valid(203, 1, true);
+        assert_eq!(s.first_invalid(200, 8), None);
+    }
+
+    #[test]
+    fn crosses_page_boundaries() {
+        let mut s = ShadowBits::new();
+        let a = PAGE_SIZE - 4;
+        s.set_accessible(a, 8, true);
+        s.set_valid(a, 8, true);
+        assert!(s.is_accessible(PAGE_SIZE + 3));
+        assert_eq!(s.first_invalid(a, 8), None);
+        assert!(s.tracked_pages() >= 2);
+    }
+
+    #[test]
+    fn copy_valid_carries_masks() {
+        let mut s = ShadowBits::new();
+        s.set_valid(100, 4, true);
+        s.set_vmask(102, 0x0F);
+        s.copy_valid(100, 500, 4);
+        assert_eq!(s.vmask(500), 0xFF);
+        assert_eq!(s.vmask(502), 0x0F);
+        assert_eq!(s.vmask(504), 0x00);
+    }
+
+    #[test]
+    fn copy_valid_overlapping() {
+        let mut s = ShadowBits::new();
+        s.set_valid(100, 4, true);
+        s.copy_valid(100, 102, 4);
+        assert_eq!(s.vmask(102), 0xFF);
+        assert_eq!(s.vmask(105), 0xFF);
+    }
+}

@@ -1,0 +1,151 @@
+//! Analyzer warnings and their mapping to patch vulnerability bits.
+
+use ht_encoding::Ccid;
+use ht_memsim::Addr;
+use ht_patch::{AllocFn, VulnFlags};
+use std::fmt;
+
+/// What kind of violation a warning reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarningKind {
+    /// Contiguous over-access into a red zone (overwrite or overread).
+    Overflow,
+    /// Access to quarantined freed memory.
+    UseAfterFree,
+    /// A value carrying invalid bits reached a checked sink.
+    UninitRead,
+    /// `free` of a pointer that is not a live buffer base (incl. double
+    /// free). Not patchable — diagnostics only.
+    InvalidFree,
+    /// Access to memory no tracked buffer owns (wild pointer). Not
+    /// patchable — diagnostics only.
+    Wild,
+}
+
+impl WarningKind {
+    /// The patch bit for this warning, if the paper's online system defends
+    /// against it.
+    pub fn to_vuln_flags(self) -> Option<VulnFlags> {
+        match self {
+            WarningKind::Overflow => Some(VulnFlags::OVERFLOW),
+            WarningKind::UseAfterFree => Some(VulnFlags::USE_AFTER_FREE),
+            WarningKind::UninitRead => Some(VulnFlags::UNINIT_READ),
+            WarningKind::InvalidFree | WarningKind::Wild => None,
+        }
+    }
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WarningKind::Overflow => "overflow",
+            WarningKind::UseAfterFree => "use-after-free",
+            WarningKind::UninitRead => "uninitialized-read",
+            WarningKind::InvalidFree => "invalid-free",
+            WarningKind::Wild => "wild-access",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One analyzer warning, attributed (when possible) to the origin buffer's
+/// allocation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// What happened.
+    pub kind: WarningKind,
+    /// The faulting / checked address.
+    pub addr: Addr,
+    /// Whether the offending access was a write.
+    pub write: bool,
+    /// Origin buffer's allocation API, if attributed.
+    pub fun: Option<AllocFn>,
+    /// Origin buffer's allocation-time CCID, if attributed.
+    pub ccid: Option<Ccid>,
+    /// Origin buffer's user size, if attributed.
+    pub buf_size: Option<u64>,
+}
+
+impl Warning {
+    /// The patch key `(FUN, CCID)` if this warning is patchable and
+    /// attributed.
+    pub fn patch_key(&self) -> Option<(AllocFn, u64)> {
+        match (self.kind.to_vuln_flags(), self.fun, self.ccid) {
+            (Some(_), Some(f), Some(c)) => Some((f, c.0)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = if self.write { "write" } else { "read" };
+        write!(f, "{} on {} at {:#x}", self.kind, op, self.addr)?;
+        if let (Some(fun), Some(ccid)) = (self.fun, self.ccid) {
+            write!(f, " (buffer from {fun} at {ccid}")?;
+            if let Some(sz) = self.buf_size {
+                write!(f, ", {sz} bytes")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_patch_bits() {
+        assert_eq!(
+            WarningKind::Overflow.to_vuln_flags(),
+            Some(VulnFlags::OVERFLOW)
+        );
+        assert_eq!(
+            WarningKind::UseAfterFree.to_vuln_flags(),
+            Some(VulnFlags::USE_AFTER_FREE)
+        );
+        assert_eq!(
+            WarningKind::UninitRead.to_vuln_flags(),
+            Some(VulnFlags::UNINIT_READ)
+        );
+        assert_eq!(WarningKind::InvalidFree.to_vuln_flags(), None);
+        assert_eq!(WarningKind::Wild.to_vuln_flags(), None);
+    }
+
+    #[test]
+    fn patch_key_requires_attribution() {
+        let mut w = Warning {
+            kind: WarningKind::Overflow,
+            addr: 0x100,
+            write: true,
+            fun: Some(AllocFn::Malloc),
+            ccid: Some(Ccid(9)),
+            buf_size: Some(64),
+        };
+        assert_eq!(w.patch_key(), Some((AllocFn::Malloc, 9)));
+        w.ccid = None;
+        assert_eq!(w.patch_key(), None);
+        w.ccid = Some(Ccid(9));
+        w.kind = WarningKind::Wild;
+        assert_eq!(w.patch_key(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let w = Warning {
+            kind: WarningKind::UninitRead,
+            addr: 0xbeef,
+            write: false,
+            fun: Some(AllocFn::Calloc),
+            ccid: Some(Ccid(0x22)),
+            buf_size: Some(128),
+        };
+        let s = w.to_string();
+        assert!(s.contains("uninitialized-read"), "{s}");
+        assert!(s.contains("0xbeef"), "{s}");
+        assert!(s.contains("calloc"), "{s}");
+        assert!(s.contains("128 bytes"), "{s}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The modeled-program representation: expressions, statements, programs.
+
+use ht_callgraph::{CallGraph, EdgeId, FuncId};
+use ht_patch::AllocFn;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A buffer-handle slot.
+///
+/// Slots are program-global pointer variables; a dangling use-after-free is
+/// modeled by reading through a slot whose buffer was freed (freeing does
+/// *not* clear the slot, just like freeing does not clear a C pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// Index into the interpreter's slot table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An integer expression over the program input.
+///
+/// Inputs are the modeled equivalent of the paper's attack inputs: a vector
+/// of integers that sizes, lengths and counts may reference. Arithmetic is
+/// saturating so adversarial inputs cannot crash the *interpreter* (only the
+/// modeled program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(u64),
+    /// Input parameter `i`; evaluates to 0 when the input is shorter.
+    Input(usize),
+    /// Saturating addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Saturating subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Saturating multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer division; division by zero yields 0.
+    Div(Box<Expr>, Box<Expr>),
+    /// Minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder-style Expr constructors
+impl Expr {
+    /// Evaluates against `input`.
+    pub fn eval(&self, input: &[u64]) -> u64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Input(i) => input.get(*i).copied().unwrap_or(0),
+            Expr::Add(a, b) => a.eval(input).saturating_add(b.eval(input)),
+            Expr::Sub(a, b) => a.eval(input).saturating_sub(b.eval(input)),
+            Expr::Mul(a, b) => a.eval(input).saturating_mul(b.eval(input)),
+            Expr::Div(a, b) => a.eval(input).checked_div(b.eval(input)).unwrap_or(0),
+            Expr::Min(a, b) => a.eval(input).min(b.eval(input)),
+            Expr::Max(a, b) => a.eval(input).max(b.eval(input)),
+        }
+    }
+
+    /// `self + other` (builder convenience).
+    #[must_use]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`, saturating.
+    #[must_use]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`, saturating.
+    #[must_use]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `self / other` (0 when `other` evaluates to 0).
+    #[must_use]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(other))
+    }
+
+    /// `min(self, other)`.
+    #[must_use]
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::Min(Box::new(self), Box::new(other))
+    }
+
+    /// `max(self, other)`.
+    #[must_use]
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::Max(Box::new(self), Box::new(other))
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Self {
+        Expr::Const(v)
+    }
+}
+
+/// Where the result of a buffer read flows.
+///
+/// The offline analyzer only reports uninitialized reads whose value is
+/// *used* — to decide control flow, as an address, or in a system call
+/// (paper Section V avoids padding false positives this way). `Leak`
+/// additionally appends the bytes to the run report, modeling data
+/// exfiltration through a network send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sink {
+    /// Value copied around but never used (no V-bit check).
+    Discard,
+    /// Value decides a conditional branch (V-bit checked).
+    Branch,
+    /// Value used as a memory address / function pointer (V-bit checked).
+    Addr,
+    /// Value passed to a system call (V-bit checked).
+    Syscall,
+    /// Value sent to the attacker — a send() syscall; bytes land in
+    /// [`RunReport::leaked`](crate::RunReport). (V-bit checked.)
+    Leak,
+}
+
+impl Sink {
+    /// Whether the offline analyzer checks validity bits at this sink.
+    pub fn checks_vbits(self) -> bool {
+        !matches!(self, Sink::Discard)
+    }
+}
+
+/// One statement of a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Call the function at the other end of this call-site edge.
+    Call(EdgeId),
+    /// An indirect (virtual) call: one call-graph edge per candidate
+    /// callee, the input-derived selector picks which is taken at runtime.
+    /// This is the construct DeltaPath extends PCCE for — each possible
+    /// target of the site is its own instrumentable edge.
+    CallVirtual {
+        /// One edge per candidate callee, in declaration order.
+        edges: Vec<EdgeId>,
+        /// Selector expression; taken edge is `selector % edges.len()`.
+        selector: Expr,
+    },
+    /// Allocate via `fun` into `slot`. `align` is only meaningful for
+    /// [`AllocFn::Memalign`]. The edge points at the allocation-API node.
+    Alloc {
+        /// Call-site edge to the allocation-API node.
+        edge: EdgeId,
+        /// Destination slot for the returned pointer.
+        slot: SlotId,
+        /// Which allocation API.
+        fun: AllocFn,
+        /// Requested size in bytes.
+        size: Expr,
+        /// Alignment (power of two) for `memalign`.
+        align: Expr,
+    },
+    /// `realloc(slot, new_size)`; `realloc(NULL, n)` behaves as `malloc(n)`.
+    Realloc {
+        /// Call-site edge to the `realloc` node.
+        edge: EdgeId,
+        /// Slot holding the pointer to resize (updated in place).
+        slot: SlotId,
+        /// New size in bytes.
+        new_size: Expr,
+    },
+    /// `free(slot)`. The slot keeps its (now dangling) address.
+    Free {
+        /// Slot whose pointer is freed.
+        slot: SlotId,
+    },
+    /// `slot = NULL` — defensive nulling; subsequent accesses through the
+    /// slot are no-ops and a `realloc` behaves as `malloc`.
+    Clear {
+        /// Slot to null out.
+        slot: SlotId,
+    },
+    /// Write `len` copies of `byte` at `slot + offset`.
+    Write {
+        /// Slot holding the base pointer.
+        slot: SlotId,
+        /// Byte offset from the base.
+        offset: Expr,
+        /// Length in bytes.
+        len: Expr,
+        /// Fill byte.
+        byte: u8,
+    },
+    /// `memcpy(dst + dst_off, src + src_off, len)` — data moves between
+    /// heap buffers *without* being used, so validity (and its origin)
+    /// propagates silently; only a later checked use reports (paper Fig. 4's
+    /// padding copies, and §V's origin tracking).
+    Copy {
+        /// Source slot.
+        src: SlotId,
+        /// Source byte offset.
+        src_off: Expr,
+        /// Destination slot.
+        dst: SlotId,
+        /// Destination byte offset.
+        dst_off: Expr,
+        /// Bytes to copy.
+        len: Expr,
+    },
+    /// Read `len` bytes at `slot + offset` into `sink`.
+    Read {
+        /// Slot holding the base pointer.
+        slot: SlotId,
+        /// Byte offset from the base.
+        offset: Expr,
+        /// Length in bytes.
+        len: Expr,
+        /// Where the value flows.
+        sink: Sink,
+    },
+    /// Execute the body `times` times.
+    Repeat {
+        /// Iteration count.
+        times: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Execute `then_` if input-derived `cond` is non-zero, else `else_`.
+    If {
+        /// Condition expression (non-zero = true).
+        cond: Expr,
+        /// True branch.
+        then_: Vec<Stmt>,
+        /// False branch.
+        else_: Vec<Stmt>,
+    },
+}
+
+/// An immutable modeled program.
+///
+/// Construct with [`ProgramBuilder`](crate::ProgramBuilder). The program owns
+/// its call graph; the allocation APIs are target nodes in that graph, so
+/// [`ht_callgraph::Strategy`] and [`ht_encoding::InstrumentationPlan`] apply
+/// directly.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) graph: CallGraph,
+    pub(crate) bodies: Vec<Vec<Stmt>>,
+    pub(crate) entry: FuncId,
+    pub(crate) slot_count: u32,
+    pub(crate) alloc_nodes: HashMap<FuncId, AllocFn>,
+}
+
+impl Program {
+    /// The call graph (allocation APIs are its target nodes).
+    pub fn graph(&self) -> &CallGraph {
+        &self.graph
+    }
+
+    /// The entry function (`main`).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// The body of a function (empty for allocation-API nodes).
+    pub fn body(&self, f: FuncId) -> &[Stmt] {
+        &self.bodies[f.index()]
+    }
+
+    /// Number of pointer slots the program uses.
+    pub fn slot_count(&self) -> u32 {
+        self.slot_count
+    }
+
+    /// If `f` is an allocation-API node, which API it is.
+    pub fn alloc_fn_of(&self, f: FuncId) -> Option<AllocFn> {
+        self.alloc_nodes.get(&f).copied()
+    }
+
+    /// Total statement count across all bodies (a program-size proxy).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Repeat { body, .. } => 1 + count(body),
+                    Stmt::If { then_, else_, .. } => 1 + count(then_) + count(else_),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.bodies.iter().map(|b| count(b)).sum()
+    }
+
+    /// Estimated uninstrumented program size in bytes (Table III
+    /// denominator): statements and call sites modeled at typical x86-64
+    /// instruction footprints.
+    pub fn base_size_bytes(&self) -> usize {
+        // ~24 bytes per statement, ~16 bytes of prologue/epilogue per
+        // function, ~8 bytes per call site.
+        self.stmt_count() * 24 + self.graph.func_count() * 16 + self.graph.edge_count() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_eval() {
+        let input = [10u64, 3];
+        assert_eq!(Expr::Const(5).eval(&input), 5);
+        assert_eq!(Expr::Input(0).eval(&input), 10);
+        assert_eq!(Expr::Input(9).eval(&input), 0, "missing input is 0");
+        assert_eq!(Expr::Input(0).add(Expr::Input(1)).eval(&input), 13);
+        assert_eq!(
+            Expr::Input(1).sub(Expr::Input(0)).eval(&input),
+            0,
+            "saturates"
+        );
+        assert_eq!(Expr::Input(0).mul(Expr::Const(4)).eval(&input), 40);
+        assert_eq!(Expr::Input(0).div(Expr::Input(1)).eval(&input), 3);
+        assert_eq!(Expr::Input(0).div(Expr::Const(0)).eval(&input), 0);
+        assert_eq!(Expr::Input(0).min(Expr::Input(1)).eval(&input), 3);
+        assert_eq!(Expr::Input(0).max(Expr::Input(1)).eval(&input), 10);
+        assert_eq!(Expr::from(7u64), Expr::Const(7));
+    }
+
+    #[test]
+    fn expr_saturation_at_bounds() {
+        assert_eq!(
+            Expr::Const(u64::MAX).add(Expr::Const(1)).eval(&[]),
+            u64::MAX
+        );
+        assert_eq!(
+            Expr::Const(u64::MAX).mul(Expr::Const(2)).eval(&[]),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn sink_vbit_checking() {
+        assert!(!Sink::Discard.checks_vbits());
+        for s in [Sink::Branch, Sink::Addr, Sink::Syscall, Sink::Leak] {
+            assert!(s.checks_vbits());
+        }
+    }
+
+    #[test]
+    fn slot_display() {
+        assert_eq!(SlotId(4).to_string(), "s4");
+        assert_eq!(SlotId(4).index(), 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! Service-program models (paper §VIII-B2: Nginx, MySQL).
+//!
+//! The paper measures throughput overhead of the online defense on two
+//! request-serving programs. The models here reproduce the *allocation
+//! profile per request*: an accept/parse/handle/respond pipeline that
+//! allocates request and response buffers, does per-request compute, and
+//! frees everything. Input 0 is the number of requests, so a benchmark
+//! harness measures requests/second directly.
+
+use crate::builder::ProgramBuilder;
+use crate::program::{Expr, Program, Sink};
+use ht_patch::AllocFn;
+
+/// Which service to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// Nginx-like: small per-request allocations, light compute.
+    Nginx,
+    /// MySQL-like: heavier per-request work relative to allocation, so the
+    /// defense overhead drowns (the paper observed no measurable overhead).
+    Mysql,
+}
+
+impl ServiceKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::Nginx => "nginx",
+            ServiceKind::Mysql => "mysql",
+        }
+    }
+}
+
+/// A built service model.
+#[derive(Debug)]
+pub struct ServiceWorkload {
+    /// Which service this models.
+    pub kind: ServiceKind,
+    /// The program; input 0 = request count.
+    pub program: Program,
+}
+
+impl ServiceWorkload {
+    /// Input vector serving `requests` requests.
+    pub fn input_for_requests(&self, requests: u64) -> Vec<u64> {
+        vec![requests]
+    }
+}
+
+/// Builds the request-loop model for `kind`.
+pub fn build_service_workload(kind: ServiceKind) -> ServiceWorkload {
+    let (conn_buf, hdr_buf, body_buf, resp_buf, work_bytes, pool_allocs) = match kind {
+        // Nginx: pool of small buffers per request, modest compute.
+        ServiceKind::Nginx => (1024u64, 256u64, 4000u64, 8000u64, 16_384u64, 6u32),
+        // MySQL: bigger row/sort buffers, much more compute per request.
+        ServiceKind::Mysql => (4000, 500, 16_000, 32_000, 262_144, 4),
+    };
+
+    let mut pb = ProgramBuilder::new();
+    let main = pb.entry();
+    let accept = pb.func(format!("{}::accept", kind.name()));
+    let parse = pb.func(format!("{}::parse", kind.name()));
+    let handle = pb.func(format!("{}::handle", kind.name()));
+    let respond = pb.func(format!("{}::respond", kind.name()));
+
+    let conn = pb.slot();
+    let hdr = pb.slot();
+    let body = pb.slot();
+    let resp = pb.slot();
+    let pool = pb.slots(pool_allocs);
+    let scratch = pb.slot();
+
+    pb.define(accept, move |b| {
+        b.alloc(conn, AllocFn::Malloc, conn_buf);
+        b.write(conn, 0u64, conn_buf.min(128), 0x10);
+    });
+    pb.define(parse, move |b| {
+        b.alloc(hdr, AllocFn::Malloc, hdr_buf);
+        b.write(hdr, 0u64, hdr_buf, 0x20);
+        b.read(hdr, 0u64, 64u64, Sink::Branch);
+        b.alloc(body, AllocFn::Calloc, body_buf);
+        b.write(body, 0u64, body_buf.min(512), 0x30);
+    });
+    let pool_for_handle = pool.clone();
+    pb.define(handle, move |b| {
+        for (i, &p) in pool_for_handle.iter().enumerate() {
+            b.alloc(p, AllocFn::Malloc, 64 + 32 * i as u64);
+            b.write(p, 0u64, 64u64, 0x40);
+        }
+        // Per-request compute on the scratch area.
+        b.write(scratch, 0u64, work_bytes, 0x55);
+        b.read(scratch, 0u64, work_bytes.min(256), Sink::Branch);
+        for &p in pool_for_handle.iter() {
+            b.free(p);
+        }
+    });
+    pb.define(respond, move |b| {
+        b.alloc(resp, AllocFn::Malloc, resp_buf);
+        b.write(resp, 0u64, resp_buf.min(1024), 0x60);
+        b.read(resp, 0u64, 128u64, Sink::Syscall); // send()
+        b.free(resp);
+        b.free(body);
+        b.free(hdr);
+        b.free(conn);
+    });
+    pb.define(main, move |b| {
+        b.alloc(scratch, AllocFn::Malloc, work_bytes.max(64));
+        b.repeat(Expr::Input(0), |b| {
+            b.call(accept);
+            b.call(parse);
+            b.call(handle);
+            b.call(respond);
+        });
+        b.free(scratch);
+    });
+
+    ServiceWorkload {
+        kind,
+        program: pb.build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_plain;
+    use ht_callgraph::Strategy;
+    use ht_encoding::{InstrumentationPlan, Scheme};
+
+    #[test]
+    fn services_run_and_balance_allocs() {
+        for kind in [ServiceKind::Nginx, ServiceKind::Mysql] {
+            let w = build_service_workload(kind);
+            let plan =
+                InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+            let rep = run_plain(&w.program, &plan, &w.input_for_requests(10));
+            assert!(rep.outcome.is_completed(), "{:?}", rep.outcome);
+            // Every allocation has a matching free (steady-state service).
+            assert_eq!(rep.allocs.total(), rep.frees, "{}", kind.name());
+            assert!(rep.allocs.total() >= 10 * 4, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn request_count_scales_linearly() {
+        let w = build_service_workload(ServiceKind::Nginx);
+        let plan = InstrumentationPlan::build(w.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let r10 = run_plain(&w.program, &plan, &[10]);
+        let r100 = run_plain(&w.program, &plan, &[100]);
+        let per10 = r10.allocs.total();
+        let per100 = r100.allocs.total();
+        assert_eq!(per100 - 1, (per10 - 1) * 10, "scratch alloc is constant");
+    }
+
+    #[test]
+    fn mysql_is_compute_heavier_than_nginx() {
+        let nginx = build_service_workload(ServiceKind::Nginx);
+        let mysql = build_service_workload(ServiceKind::Mysql);
+        let pn = InstrumentationPlan::build(nginx.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let pm = InstrumentationPlan::build(mysql.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let rn = run_plain(&nginx.program, &pn, &[20]);
+        let rm = run_plain(&mysql.program, &pm, &[20]);
+        let nginx_ratio = rn.bytes_written as f64 / rn.allocs.total() as f64;
+        let mysql_ratio = rm.bytes_written as f64 / rm.allocs.total() as f64;
+        assert!(
+            mysql_ratio > 4.0 * nginx_ratio,
+            "mysql {mysql_ratio:.0} vs nginx {nginx_ratio:.0} bytes/alloc"
+        );
+    }
+
+    #[test]
+    fn single_root() {
+        for kind in [ServiceKind::Nginx, ServiceKind::Mysql] {
+            let w = build_service_workload(kind);
+            assert_eq!(w.program.graph().roots(), vec![w.program.entry()]);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! SPEC CPU2006 INT benchmark models.
+//!
+//! The paper evaluates on the 12 SPEC CPU2006 integer benchmarks. SPEC is
+//! proprietary, so each benchmark is modeled as a synthetic program whose
+//! *heap-relevant* characteristics are taken from the paper itself:
+//!
+//! * the per-API allocation counts of **Table IV** (scaled down — the models
+//!   replay the same malloc/calloc/realloc mix at a configurable fraction of
+//!   the original volume),
+//! * a call-graph shape with the four ingredients that make the encoding
+//!   strategies differ (Table III): *cold* compute subtrees that cannot reach
+//!   an allocation API (pruned by TCS), long non-branching call chains in
+//!   front of allocation sites (pruned by Slim), and *false-branching*
+//!   dispatchers whose out-edges reach different allocation APIs (pruned by
+//!   Incremental),
+//! * per-iteration compute work (scratch-buffer writes) so that encoding and
+//!   interposition costs are small *percentages* of a real baseline, as in
+//!   Fig. 8.
+//!
+//! The iteration count is the program's input parameter 0, so one built
+//! program serves every scale.
+
+use crate::builder::ProgramBuilder;
+use crate::program::{Expr, Program, Sink};
+use ht_patch::AllocFn;
+
+/// Static description of one modeled SPEC benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecBench {
+    /// Benchmark name, e.g. `"400.perlbench"`.
+    pub name: &'static str,
+    /// Paper Table IV `malloc` count.
+    pub mallocs: u64,
+    /// Paper Table IV `calloc` count.
+    pub callocs: u64,
+    /// Paper Table IV `realloc` count.
+    pub reallocs: u64,
+    /// Distinct hot allocation contexts in the model.
+    pub hot_contexts: usize,
+    /// Length of the non-branching call chain in front of each allocation.
+    pub chain_len: usize,
+    /// Number of cold (allocation-free) compute functions.
+    pub cold_funcs: usize,
+    /// Number of false-branching dispatcher nodes.
+    pub false_branches: usize,
+    /// Allocation size in bytes.
+    pub buf_size: u64,
+    /// Scratch bytes written per iteration (compute-work proxy).
+    pub compute_per_iter: u64,
+    /// Buffers retained live for the whole run (resident-heap profile,
+    /// Fig. 9). Allocated through the benchmark's dominant API.
+    pub live_pool: u32,
+}
+
+/// A built benchmark model: the program plus how to run it at a given scale.
+#[derive(Debug)]
+pub struct SpecWorkload {
+    /// The benchmark this was built from.
+    pub bench: SpecBench,
+    /// The modeled program (input 0 = iteration count).
+    pub program: Program,
+    /// Allocations performed per 64 iterations of the main loop.
+    ///
+    /// Allocation contexts are spread over three frequency tiers (every
+    /// iteration / every 8th / every 64th) so that context frequencies are
+    /// skewed as in real programs — the *median*-frequency context (Fig. 8's
+    /// hypothesized-vulnerable one) is then a small fraction of total
+    /// volume, as in the paper.
+    pub allocs_per_64_iters: u64,
+}
+
+impl SpecWorkload {
+    /// The input vector that replays approximately `fraction` of the paper's
+    /// Table IV allocation volume.
+    pub fn input_for_fraction(&self, fraction: f64) -> Vec<u64> {
+        let total = (self.bench.mallocs + self.bench.callocs + self.bench.reallocs) as f64;
+        let target = (total * fraction).ceil() as u64;
+        vec![self.iterations_for_allocs(target)]
+    }
+
+    /// The input vector that performs approximately `allocs` allocations.
+    pub fn input_for_allocs(&self, allocs: u64) -> Vec<u64> {
+        vec![self.iterations_for_allocs(allocs)]
+    }
+
+    fn iterations_for_allocs(&self, allocs: u64) -> u64 {
+        (allocs * 64 / self.allocs_per_64_iters.max(1)).max(1)
+    }
+}
+
+/// The 12 SPEC CPU2006 INT benchmarks with the paper's Table IV counts.
+///
+/// Shape parameters (contexts, chains, cold functions) are chosen per
+/// benchmark character: `perlbench`/`omnetpp`/`xalancbmk` are
+/// allocation-intensive with many contexts; `bzip2`/`sjeng`/`mcf` barely
+/// allocate and are dominated by cold compute.
+pub fn spec_suite() -> Vec<SpecBench> {
+    vec![
+        SpecBench {
+            name: "400.perlbench",
+            mallocs: 346_405_116,
+            callocs: 0,
+            reallocs: 11_736_402,
+            hot_contexts: 48,
+            chain_len: 4,
+            cold_funcs: 40,
+            false_branches: 4,
+            buf_size: 56,
+            compute_per_iter: 2048,
+            live_pool: 3000,
+        },
+        SpecBench {
+            name: "401.bzip2",
+            mallocs: 174,
+            callocs: 0,
+            reallocs: 0,
+            hot_contexts: 2,
+            chain_len: 1,
+            cold_funcs: 90,
+            false_branches: 0,
+            buf_size: 4000,
+            compute_per_iter: 65536,
+            live_pool: 50,
+        },
+        SpecBench {
+            name: "403.gcc",
+            mallocs: 23_690_559,
+            callocs: 4_723_237,
+            reallocs: 44_688,
+            hot_contexts: 64,
+            chain_len: 5,
+            cold_funcs: 64,
+            false_branches: 8,
+            buf_size: 112,
+            compute_per_iter: 4096,
+            live_pool: 2500,
+        },
+        SpecBench {
+            name: "429.mcf",
+            mallocs: 5,
+            callocs: 3,
+            reallocs: 0,
+            hot_contexts: 2,
+            chain_len: 1,
+            cold_funcs: 30,
+            false_branches: 1,
+            buf_size: 8000,
+            compute_per_iter: 65536,
+            live_pool: 30,
+        },
+        SpecBench {
+            name: "445.gobmk",
+            mallocs: 606_463,
+            callocs: 0,
+            reallocs: 52_115,
+            hot_contexts: 16,
+            chain_len: 3,
+            cold_funcs: 70,
+            false_branches: 2,
+            buf_size: 240,
+            compute_per_iter: 16384,
+            live_pool: 800,
+        },
+        SpecBench {
+            name: "456.hmmer",
+            mallocs: 1_983_014,
+            callocs: 122_564,
+            reallocs: 368_696,
+            hot_contexts: 24,
+            chain_len: 6,
+            cold_funcs: 40,
+            false_branches: 3,
+            buf_size: 112,
+            compute_per_iter: 8192,
+            live_pool: 1500,
+        },
+        SpecBench {
+            name: "458.sjeng",
+            mallocs: 5,
+            callocs: 0,
+            reallocs: 0,
+            hot_contexts: 1,
+            chain_len: 1,
+            cold_funcs: 80,
+            false_branches: 0,
+            buf_size: 65000,
+            compute_per_iter: 65536,
+            live_pool: 10,
+        },
+        SpecBench {
+            name: "462.libquantum",
+            mallocs: 1,
+            callocs: 121,
+            reallocs: 58,
+            hot_contexts: 3,
+            chain_len: 2,
+            cold_funcs: 25,
+            false_branches: 1,
+            buf_size: 2000,
+            compute_per_iter: 32768,
+            live_pool: 200,
+        },
+        SpecBench {
+            name: "464.h264ref",
+            mallocs: 7_270,
+            callocs: 170_518,
+            reallocs: 0,
+            hot_contexts: 12,
+            chain_len: 3,
+            cold_funcs: 60,
+            false_branches: 2,
+            buf_size: 500,
+            compute_per_iter: 32768,
+            live_pool: 1000,
+        },
+        SpecBench {
+            name: "471.omnetpp",
+            mallocs: 267_064_936,
+            callocs: 0,
+            reallocs: 0,
+            hot_contexts: 40,
+            chain_len: 4,
+            cold_funcs: 35,
+            false_branches: 3,
+            buf_size: 40,
+            compute_per_iter: 1024,
+            live_pool: 4000,
+        },
+        SpecBench {
+            name: "473.astar",
+            mallocs: 4_799_959,
+            callocs: 0,
+            reallocs: 0,
+            hot_contexts: 8,
+            chain_len: 2,
+            cold_funcs: 45,
+            false_branches: 0,
+            buf_size: 88,
+            compute_per_iter: 4096,
+            live_pool: 2500,
+        },
+        SpecBench {
+            name: "483.xalancbmk",
+            mallocs: 135_155_553,
+            callocs: 0,
+            reallocs: 0,
+            hot_contexts: 56,
+            chain_len: 5,
+            cold_funcs: 50,
+            false_branches: 5,
+            buf_size: 56,
+            compute_per_iter: 1536,
+            live_pool: 4000,
+        },
+    ]
+}
+
+/// Looks up a benchmark by (suffix of its) name.
+pub fn spec_bench(name: &str) -> Option<SpecBench> {
+    spec_suite()
+        .into_iter()
+        .find(|b| b.name == name || b.name.ends_with(name))
+}
+
+/// Builds the modeled program for `bench`.
+///
+/// Layout (single entry `main`):
+///
+/// ```text
+/// main ── repeat(Input(0)) ──┬── cold_root ── cold tree (no allocations)
+///                            ├── hot_0 ── chain ── malloc/calloc/realloc site
+///                            ├── …
+///                            └── fb_j ──┬── chain ── malloc site
+///                                       └── chain ── calloc site
+/// ```
+pub fn build_spec_workload(bench: SpecBench) -> SpecWorkload {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.entry();
+    let scratch = pb.slot();
+
+    // Cold compute tree: binary fan-out, bodies write to the scratch buffer.
+    let cold_root = pb.func(format!("{}::cold_root", bench.name));
+    let mut cold = vec![cold_root];
+    for i in 1..bench.cold_funcs.max(1) {
+        let f = pb.func(format!("{}::cold{}", bench.name, i));
+        let parent = cold[(i - 1) / 2];
+        pb.define(parent, |b| b.call(f));
+        cold.push(f);
+    }
+    let chunk = (bench.compute_per_iter / bench.cold_funcs.max(1) as u64).max(16);
+    for &f in &cold {
+        pb.define(f, |b| {
+            b.write(scratch, 0u64, chunk, 0x5A);
+            b.read(scratch, 0u64, chunk.min(64), Sink::Discard);
+        });
+    }
+
+    // Per-API split of hot contexts, proportional to Table IV.
+    let total = (bench.mallocs + bench.callocs + bench.reallocs).max(1) as f64;
+    let n = bench.hot_contexts.max(1);
+    let n_realloc = ((bench.reallocs as f64 / total * n as f64).round() as usize)
+        .min(n.saturating_sub(1))
+        .max(usize::from(bench.reallocs > 0));
+    let n_calloc = ((bench.callocs as f64 / total * n as f64).round() as usize)
+        .min(n - n_realloc)
+        .max(usize::from(bench.callocs > 0 && n > n_realloc));
+    let n_malloc = n - n_realloc - n_calloc;
+
+    // Contexts as (root, allocations-per-visit); tiered below.
+    let mut contexts: Vec<(ht_callgraph::FuncId, u64)> = Vec::new();
+    let mut ctx = 0usize;
+    let make_chain = |pb: &mut ProgramBuilder, ctx: usize, fun: AllocFn| -> ht_callgraph::FuncId {
+        let slot = pb.slot();
+        let root = pb.func(format!("{}::hot{}_0", bench.name, ctx));
+        let mut cur = root;
+        for d in 1..bench.chain_len.max(1) {
+            let next = pb.func(format!("{}::hot{}_{}", bench.name, ctx, d));
+            pb.define(cur, |b| b.call(next));
+            cur = next;
+        }
+        let size = bench.buf_size;
+        pb.define(cur, move |b| {
+            match fun {
+                AllocFn::Realloc => {
+                    b.alloc(slot, AllocFn::Malloc, size / 2);
+                    b.realloc(slot, size);
+                }
+                f => b.alloc(slot, f, size),
+            }
+            b.write(slot, 0u64, size.min(256), 0x42);
+            b.read(slot, 0u64, size.min(64), Sink::Branch);
+            b.free(slot);
+        });
+        root
+    };
+
+    for _ in 0..n_malloc {
+        contexts.push((make_chain(&mut pb, ctx, AllocFn::Malloc), 1));
+        ctx += 1;
+    }
+    for _ in 0..n_calloc {
+        contexts.push((make_chain(&mut pb, ctx, AllocFn::Calloc), 1));
+        ctx += 1;
+    }
+    for _ in 0..n_realloc {
+        // malloc + realloc per visit.
+        contexts.push((make_chain(&mut pb, ctx, AllocFn::Realloc), 2));
+        ctx += 1;
+    }
+
+    // False-branching dispatchers: two children reaching *different* APIs.
+    // The second API must be one the benchmark actually uses (Table IV);
+    // malloc-only benchmarks cannot have false-branching nodes, which is
+    // why the paper's Slim and Incremental columns coincide for them.
+    let second_api = if bench.callocs > 0 {
+        Some(AllocFn::Calloc)
+    } else if bench.reallocs > 0 {
+        Some(AllocFn::Realloc)
+    } else {
+        None
+    };
+    if let Some(second) = second_api {
+        for j in 0..bench.false_branches {
+            let fb = pb.func(format!("{}::fb{}", bench.name, j));
+            let a = make_chain(&mut pb, ctx, AllocFn::Malloc);
+            ctx += 1;
+            let b_ = make_chain(&mut pb, ctx, second);
+            ctx += 1;
+            pb.define(fb, |b| {
+                b.call(a);
+                b.call(b_);
+            });
+            let per_visit = if second == AllocFn::Realloc { 3 } else { 2 };
+            contexts.push((fb, per_visit));
+        }
+    }
+
+    // Frequency tiers: real programs allocate from a skewed context
+    // distribution, so spread contexts round-robin over three rates — every
+    // iteration, every 8th, every 64th. The median-frequency context then
+    // accounts for a small share of total volume, as in the paper's Fig. 8
+    // methodology.
+    let mut tiers: [Vec<ht_callgraph::FuncId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut allocs_per_64 = 0u64;
+    const TIER_VISITS_PER_64: [u64; 3] = [64, 8, 1];
+    for (i, &(root, per_visit)) in contexts.iter().enumerate() {
+        let t = i % 3;
+        tiers[t].push(root);
+        allocs_per_64 += TIER_VISITS_PER_64[t] * per_visit;
+    }
+
+    let (hot, mid, rare) = (tiers[0].clone(), tiers[1].clone(), tiers[2].clone());
+    // Retained live heap (Fig. 9): `live_pool` buffers allocated up front
+    // through the benchmark's dominant API and held (leaked into the pool
+    // slot) for the whole run.
+    let pool_fun = if bench.callocs > bench.mallocs {
+        AllocFn::Calloc
+    } else {
+        AllocFn::Malloc
+    };
+    let pool_slot = pb.slot();
+    pb.define(main, |b| {
+        b.alloc(scratch, AllocFn::Malloc, bench.compute_per_iter.max(64));
+        b.repeat(bench.live_pool as u64, |b| {
+            b.alloc(pool_slot, pool_fun, bench.buf_size);
+            b.write(pool_slot, 0u64, bench.buf_size, 0x33);
+        });
+        b.repeat(Expr::Input(0), |b| {
+            b.call(cold_root);
+            for &h in &hot {
+                b.call(h);
+            }
+        });
+        b.repeat(Expr::Input(0).div(Expr::Const(8)), |b| {
+            for &m in &mid {
+                b.call(m);
+            }
+        });
+        b.repeat(Expr::Input(0).div(Expr::Const(64)), |b| {
+            for &r in &rare {
+                b.call(r);
+            }
+        });
+        b.free(scratch);
+    });
+
+    SpecWorkload {
+        bench,
+        program: pb.build(),
+        allocs_per_64_iters: allocs_per_64.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_plain;
+    use ht_callgraph::Strategy;
+    use ht_encoding::{InstrumentationPlan, Scheme};
+
+    #[test]
+    fn suite_has_twelve_benchmarks_with_paper_counts() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 12);
+        let perl = spec_bench("perlbench").unwrap();
+        assert_eq!(perl.mallocs, 346_405_116);
+        assert_eq!(perl.reallocs, 11_736_402);
+        let bzip = spec_bench("401.bzip2").unwrap();
+        assert_eq!(bzip.mallocs, 174);
+        assert!(spec_bench("no-such").is_none());
+    }
+
+    #[test]
+    fn workloads_build_and_run() {
+        for bench in spec_suite() {
+            let w = build_spec_workload(bench);
+            let plan =
+                InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+            let input = vec![2u64];
+            let rep = run_plain(&w.program, &plan, &input);
+            assert!(
+                rep.outcome.is_completed(),
+                "{}: {:?}",
+                bench.name,
+                rep.outcome
+            );
+            assert!(rep.allocs.total() > 0, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn single_root_everywhere() {
+        for bench in spec_suite() {
+            let w = build_spec_workload(bench);
+            assert_eq!(
+                w.program.graph().roots(),
+                vec![w.program.entry()],
+                "{}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn api_mix_tracks_table_iv() {
+        // gcc has every API; h264ref is calloc-heavy; omnetpp malloc-only.
+        let gcc = build_spec_workload(spec_bench("403.gcc").unwrap());
+        let plan = InstrumentationPlan::build(gcc.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let rep = run_plain(&gcc.program, &plan, &[4]);
+        assert!(rep.allocs.malloc > 0 && rep.allocs.calloc > 0 && rep.allocs.realloc > 0);
+
+        let h264 = build_spec_workload(spec_bench("464.h264ref").unwrap());
+        let plan = InstrumentationPlan::build(h264.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let rep = run_plain(&h264.program, &plan, &[4]);
+        assert!(rep.allocs.calloc > rep.allocs.malloc.saturating_sub(4));
+
+        let omnet = build_spec_workload(spec_bench("471.omnetpp").unwrap());
+        let plan = InstrumentationPlan::build(omnet.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        let rep = run_plain(&omnet.program, &plan, &[4]);
+        assert_eq!(rep.allocs.realloc, 0);
+    }
+
+    #[test]
+    fn strategy_site_counts_strictly_shrink_on_rich_models() {
+        // gcc has cold funcs (TCS < FCS), chains (Slim < TCS) and false
+        // branches (Incremental < Slim).
+        let w = build_spec_workload(spec_bench("403.gcc").unwrap());
+        let counts: Vec<usize> = Strategy::ALL
+            .iter()
+            .map(|&s| InstrumentationPlan::build(w.program.graph(), s, Scheme::Pcc).site_count())
+            .collect();
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3],
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn input_scaling_controls_alloc_volume() {
+        let w = build_spec_workload(spec_bench("473.astar").unwrap());
+        let plan = InstrumentationPlan::build(w.program.graph(), Strategy::Tcs, Scheme::Pcc);
+        // The retained live pool is a fixed prologue; the loop volume above
+        // it must scale with the input.
+        let pool = w.bench.live_pool as u64 + 1; // + scratch
+        let small = run_plain(&w.program, &plan, &w.input_for_allocs(1_000));
+        let large = run_plain(&w.program, &plan, &w.input_for_allocs(10_000));
+        let small_loop = small.allocs.total() - pool;
+        let large_loop = large.allocs.total() - pool;
+        assert!(
+            large_loop >= 5 * small_loop.max(1),
+            "{small_loop} -> {large_loop}"
+        );
+        // Fractional volume maps through Table IV totals.
+        let frac = w.input_for_fraction(1e-5);
+        assert!(frac[0] >= 1);
+    }
+
+    #[test]
+    fn encoder_ops_ordering_across_strategies() {
+        let w = build_spec_workload(spec_bench("456.hmmer").unwrap());
+        let input = w.input_for_allocs(200);
+        let mut prev = u64::MAX;
+        for s in Strategy::ALL {
+            let plan = InstrumentationPlan::build(w.program.graph(), s, Scheme::Pcc);
+            let ops = run_plain(&w.program, &plan, &input).encoder_ops;
+            assert!(ops <= prev, "{s}: {ops} > {prev}");
+            prev = ops;
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The SAMATE-style dataset: 23 generated heap-vulnerability cases.
+//!
+//! NIST's SAMATE dataset (paper Table II) holds 23 small C programs with
+//! heap overflow, use-after-free, and uninitialized-read bugs. This module
+//! generates 23 equivalent modeled cases as a cross-product of vulnerability
+//! class × allocation API × calling-context depth, so the pipeline is
+//! exercised for every `(FUN, T)` combination the online defense supports.
+
+use crate::{VulnApp, ATTACK_BYTE, SECRET_BYTE, SPRAY_BYTE};
+use ht_callgraph::FuncId;
+use ht_patch::{AllocFn, VulnFlags};
+use ht_simprog::{Expr, ProgramBuilder, Sink};
+
+/// The vulnerability shapes in the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    OverflowWrite,
+    OverflowRead,
+    UafRead,
+    UafWrite,
+    UninitRead,
+}
+
+impl Shape {
+    fn expected(self) -> VulnFlags {
+        match self {
+            Shape::OverflowWrite | Shape::OverflowRead => VulnFlags::OVERFLOW,
+            Shape::UafRead | Shape::UafWrite => VulnFlags::USE_AFTER_FREE,
+            Shape::UninitRead => VulnFlags::UNINIT_READ,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Shape::OverflowWrite => "of-write",
+            Shape::OverflowRead => "of-read",
+            Shape::UafRead => "uaf-read",
+            Shape::UafWrite => "uaf-write",
+            Shape::UninitRead => "uninit-read",
+        }
+    }
+}
+
+/// Buffer size used by every case.
+const SIZE: u64 = 64;
+/// Alignment for the memalign cases.
+const ALIGN: u64 = 16;
+
+/// A neighbour size that lands in the same inner size class as the
+/// vulnerable buffer, so overflows reach it on the undefended substrate.
+/// `memalign` pads its request by the alignment, bumping the class.
+fn neighbour_size(fun: AllocFn) -> u64 {
+    match fun {
+        AllocFn::Memalign => 100, // class(64+16)=128 → neighbour in class 128
+        _ => 48,                  // class(64)=64   → neighbour in class 64
+    }
+}
+
+/// Builds one case. Inputs: `[trigger, len]` — `trigger` gates the buggy
+/// free (UAF shapes); `len` is the attacker-controlled access length
+/// (overflow shapes) or initialized prefix (UR shape).
+fn case(index: usize, shape: Shape, fun: AllocFn, depth: usize) -> VulnApp {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.entry();
+    let buf = pb.slot();
+    let other = pb.slot();
+
+    // A chain of `depth` wrappers in front of the vulnerable function gives
+    // each case a distinct, non-trivial calling context.
+    let mut chain: Vec<FuncId> = Vec::new();
+    for d in 0..depth {
+        chain.push(pb.func(format!("samate{index}_wrap{d}")));
+    }
+    let vuln_fn = pb.func(format!("samate{index}_{}", shape.name()));
+    for w in chain.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        pb.define(a, move |bb| bb.call(b));
+    }
+    if let (Some(&first), Some(&last)) = (chain.first(), chain.last()) {
+        pb.define(last, move |bb| bb.call(vuln_fn));
+        pb.define(main, move |bb| bb.call(first));
+    } else {
+        pb.define(main, move |bb| bb.call(vuln_fn));
+    }
+
+    let alloc_into = move |bb: &mut ht_simprog::BodyBuilder<'_>, slot, size: u64| match fun {
+        AllocFn::Memalign => bb.memalign(slot, ALIGN, size),
+        AllocFn::Realloc => bb.realloc(slot, size),
+        f => bb.alloc(slot, f, size),
+    };
+
+    match shape {
+        Shape::OverflowWrite => pb.define(vuln_fn, move |b| {
+            alloc_into(b, buf, SIZE);
+            b.alloc(other, AllocFn::Malloc, neighbour_size(fun));
+            b.write(other, 0u64, 8u64, 0x11);
+            b.write(buf, 0u64, Expr::Input(1), ATTACK_BYTE);
+            b.read(other, 0u64, 8u64, Sink::Leak);
+            b.free(other);
+            b.free(buf);
+        }),
+        Shape::OverflowRead => pb.define(vuln_fn, move |b| {
+            alloc_into(b, buf, SIZE);
+            b.write(buf, 0u64, SIZE, 0x22);
+            b.alloc(other, AllocFn::Malloc, neighbour_size(fun));
+            b.write(other, 0u64, neighbour_size(fun), SECRET_BYTE);
+            b.read(buf, 0u64, Expr::Input(1), Sink::Leak);
+            b.free(other);
+            b.free(buf);
+        }),
+        Shape::UafRead => pb.define(vuln_fn, move |b| {
+            alloc_into(b, buf, SIZE);
+            b.write(buf, 0u64, SIZE, 0x11);
+            b.when(Expr::Input(0), |b| b.free(buf));
+            alloc_into(b, other, SIZE);
+            b.write(other, 0u64, SIZE, SPRAY_BYTE);
+            b.read(buf, 0u64, 8u64, Sink::Addr);
+            b.read(buf, 0u64, 8u64, Sink::Leak);
+            b.free(other);
+        }),
+        Shape::UafWrite => pb.define(vuln_fn, move |b| {
+            alloc_into(b, buf, SIZE);
+            b.write(buf, 0u64, SIZE, 0x11);
+            b.when(Expr::Input(0), |b| b.free(buf));
+            // Critical data reclaims the block...
+            alloc_into(b, other, SIZE);
+            b.write(other, 0u64, SIZE, 0x11);
+            // ...and the dangling write corrupts it.
+            b.write(buf, 0u64, 8u64, SPRAY_BYTE);
+            b.read(other, 0u64, 8u64, Sink::Leak);
+            b.free(other);
+        }),
+        Shape::UninitRead => pb.define(vuln_fn, move |b| {
+            // Seed the class with secret data through the same API/size.
+            alloc_into(b, other, SIZE);
+            b.write(other, 0u64, SIZE, SECRET_BYTE);
+            b.free(other);
+            alloc_into(b, buf, SIZE);
+            b.write(buf, 0u64, Expr::Input(1), 0x22);
+            b.read(buf, 0u64, SIZE, Sink::Leak);
+            b.free(buf);
+        }),
+    }
+
+    let (benign, attack) = match shape {
+        Shape::OverflowWrite => (vec![0, SIZE], vec![0, 4 * SIZE]),
+        Shape::OverflowRead => (vec![0, SIZE], vec![0, 5 * SIZE]),
+        Shape::UafRead | Shape::UafWrite => (vec![0, 0], vec![1, 0]),
+        Shape::UninitRead => (vec![0, SIZE], vec![0, 8]),
+    };
+    let marker = match shape {
+        Shape::OverflowWrite => vec![ATTACK_BYTE; 8],
+        Shape::OverflowRead => vec![SECRET_BYTE; 8],
+        Shape::UafRead | Shape::UafWrite => vec![SPRAY_BYTE; 8],
+        Shape::UninitRead => vec![SECRET_BYTE; 8],
+    };
+
+    VulnApp {
+        name: format!("samate-{index:02}-{}-{}", shape.name(), fun.name()),
+        reference: "SAMATE".into(),
+        expected: shape.expected(),
+        program: pb.build(),
+        benign_inputs: vec![benign],
+        attack_inputs: vec![attack],
+        success_markers: vec![marker],
+    }
+}
+
+/// The 23 SAMATE-style cases.
+///
+/// 4 overflow-write + 4 overflow-read + 4 UAF-read + 4 UAF-write (one per
+/// allocation API each) + 3 uninitialized-read (`calloc` is inherently
+/// initialized) + 4 deep-calling-context variants.
+pub fn suite() -> Vec<VulnApp> {
+    let apis = [
+        AllocFn::Malloc,
+        AllocFn::Calloc,
+        AllocFn::Memalign,
+        AllocFn::Realloc,
+    ];
+    let mut out = Vec::new();
+    let mut idx = 1;
+    for shape in [
+        Shape::OverflowWrite,
+        Shape::OverflowRead,
+        Shape::UafRead,
+        Shape::UafWrite,
+    ] {
+        for fun in apis {
+            out.push(case(idx, shape, fun, 1));
+            idx += 1;
+        }
+    }
+    for fun in [AllocFn::Malloc, AllocFn::Memalign, AllocFn::Realloc] {
+        out.push(case(idx, Shape::UninitRead, fun, 1));
+        idx += 1;
+    }
+    // Deep-context variants: same bugs behind 4-deep call chains.
+    out.push(case(idx, Shape::OverflowWrite, AllocFn::Malloc, 4));
+    idx += 1;
+    out.push(case(idx, Shape::UafRead, AllocFn::Malloc, 4));
+    idx += 1;
+    out.push(case(idx, Shape::UninitRead, AllocFn::Malloc, 4));
+    idx += 1;
+    out.push(case(idx, Shape::OverflowRead, AllocFn::Calloc, 4));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_twenty_three_cases() {
+        let s = suite();
+        assert_eq!(s.len(), 23);
+    }
+
+    #[test]
+    fn covers_every_api_and_class() {
+        let s = suite();
+        for fun in [
+            AllocFn::Malloc,
+            AllocFn::Calloc,
+            AllocFn::Memalign,
+            AllocFn::Realloc,
+        ] {
+            assert!(
+                s.iter().any(|a| a.name.contains(fun.name())),
+                "{fun} missing"
+            );
+        }
+        for cls in [
+            VulnFlags::OVERFLOW,
+            VulnFlags::USE_AFTER_FREE,
+            VulnFlags::UNINIT_READ,
+        ] {
+            assert!(s.iter().any(|a| a.expected == cls));
+        }
+    }
+
+    #[test]
+    fn no_calloc_uninit_read_case() {
+        // calloc memory is zero-initialized by definition.
+        assert!(!suite()
+            .iter()
+            .any(|a| a.expected == VulnFlags::UNINIT_READ && a.name.contains("calloc")));
+    }
+}

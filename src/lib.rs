@@ -1,0 +1,53 @@
+//! # HeapTherapy+ — code-less heap patching with targeted calling-context encoding
+//!
+//! A from-scratch Rust reproduction of *HeapTherapy+: Efficient Handling of
+//! (Almost) All Heap Vulnerabilities Using Targeted Calling-Context Encoding*
+//! (DSN 2019).
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`callgraph`] — call graphs and targeted instrumentation-site selection
+//!   (FCS / TCS / Slim / Incremental).
+//! * [`encoding`] — calling-context encoding schemes (PCC, precise
+//!   positional) and the runtime encoder.
+//! * [`memsim`] — simulated paged virtual memory with page permissions and
+//!   underlying heap allocators.
+//! * [`patch`] — the `{FUN, CCID, T}` patch format, configuration files, and
+//!   the frozen online patch table.
+//! * [`simprog`] — the modeled-program substrate (statement language,
+//!   interpreter, SPEC CPU2006 and service workload models).
+//! * [`shadow`] — the offline shadow-memory attack analyzer and patch
+//!   generator.
+//! * [`defense`] — the online defense generator (allocation interposition,
+//!   guard pages, deferred free, zero-init).
+//! * [`hardened_alloc`] — a real `GlobalAlloc` carrying the same defenses on
+//!   actual process memory.
+//! * [`vulnapps`] — modeled vulnerable programs reproducing the paper's
+//!   Table II suite.
+//! * [`core`] — the end-to-end pipeline: instrument → replay attack →
+//!   generate patches → run protected.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heaptherapy_plus::core::{HeapTherapy, PipelineConfig};
+//! use heaptherapy_plus::vulnapps;
+//!
+//! // A modeled program with a heap overflow, one attack input in hand.
+//! let app = vulnapps::bc();
+//! let ht = HeapTherapy::new(PipelineConfig::default());
+//! let cycle = ht.full_cycle(&app).expect("pipeline runs");
+//! assert!(cycle.patches_generated > 0);
+//! assert!(cycle.all_attacks_blocked);
+//! ```
+
+pub use heaptherapy_core as core;
+pub use ht_callgraph as callgraph;
+pub use ht_defense as defense;
+pub use ht_encoding as encoding;
+pub use ht_hardened_alloc as hardened_alloc;
+pub use ht_memsim as memsim;
+pub use ht_patch as patch;
+pub use ht_shadow as shadow;
+pub use ht_simprog as simprog;
+pub use ht_vulnapps as vulnapps;
