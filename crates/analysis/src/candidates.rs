@@ -1,0 +1,90 @@
+//! Triage output: candidate vulnerable allocation contexts.
+
+use ht_callgraph::EdgeId;
+use ht_encoding::Ccid;
+use ht_patch::{AllocFn, Patch, VulnFlags};
+
+/// One candidate vulnerable allocation context, resolved to the static
+/// `{FUN, CCID, T}` a patch for it would carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The allocation API of the flagged site.
+    pub fun: AllocFn,
+    /// The CCID the active plan assigns the site's calling context.
+    pub ccid: Ccid,
+    /// Union of the vulnerability classes the site may be exposed to.
+    pub vuln: VulnFlags,
+    /// A representative edge path (entry → … → allocation edge) encoding to
+    /// `ccid`. Distinct contexts colliding on one CCID keep the first path.
+    pub path: Vec<EdgeId>,
+}
+
+impl Candidate {
+    /// The patch-table key this candidate resolves to.
+    pub fn key(&self) -> (AllocFn, u64) {
+        (self.fun, self.ccid.0)
+    }
+}
+
+/// Everything the static triage found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageReport {
+    /// Candidates, sorted by `(FUN, CCID)`, one entry per key.
+    pub candidates: Vec<Candidate>,
+    /// Distinct static allocation contexts visited.
+    pub sites_seen: usize,
+    /// `true` when the analysis had to cut a cycle or hit an iteration cap:
+    /// results are still useful but the over-approximation guarantee (every
+    /// dynamic finding has a static candidate) no longer holds strictly.
+    pub bounded: bool,
+}
+
+impl TriageReport {
+    /// Whether the triage found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidate for a patch key, if any.
+    pub fn find(&self, fun: AllocFn, ccid: u64) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .find(|c| c.fun == fun && c.ccid.0 == ccid)
+    }
+
+    /// Whether a dynamically generated patch is covered: same key, and the
+    /// candidate's class set includes everything the patch defends against.
+    pub fn covers_patch(&self, patch: &Patch) -> bool {
+        self.find(patch.alloc_fn, patch.ccid)
+            .is_some_and(|c| c.vuln.contains(patch.vuln))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TriageReport {
+        TriageReport {
+            candidates: vec![Candidate {
+                fun: AllocFn::Malloc,
+                ccid: Ccid(7),
+                vuln: VulnFlags::OVERFLOW.union(VulnFlags::UNINIT_READ),
+                path: vec![EdgeId(0)],
+            }],
+            sites_seen: 1,
+            bounded: false,
+        }
+    }
+
+    #[test]
+    fn coverage_requires_key_and_class_containment() {
+        let r = report();
+        assert!(!r.is_clean());
+        assert!(r.covers_patch(&Patch::new(AllocFn::Malloc, 7, VulnFlags::OVERFLOW)));
+        assert!(!r.covers_patch(&Patch::new(AllocFn::Malloc, 7, VulnFlags::USE_AFTER_FREE)));
+        assert!(!r.covers_patch(&Patch::new(AllocFn::Calloc, 7, VulnFlags::OVERFLOW)));
+        assert!(!r.covers_patch(&Patch::new(AllocFn::Malloc, 8, VulnFlags::OVERFLOW)));
+        assert_eq!(r.candidates[0].key(), (AllocFn::Malloc, 7));
+    }
+}

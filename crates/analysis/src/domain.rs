@@ -1,0 +1,117 @@
+//! The attack-input domain and abstract expression evaluation.
+
+use crate::interval::Interval;
+use ht_simprog::Expr;
+
+/// Bounds on the program input vector under which the triage runs.
+///
+/// The paper's threat model gives the attacker full control of the input, so
+/// by default every `Input(i)` ranges over `[0, u64::MAX]`. Callers that know
+/// protocol-level limits (e.g. a 16-bit length field) can tighten individual
+/// indices; the triage then only reports what is reachable within them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputDomain {
+    /// Per-index overrides; indices beyond the vector are unconstrained.
+    bounds: Vec<Option<Interval>>,
+}
+
+impl InputDomain {
+    /// The default adversarial domain: every input unconstrained.
+    pub fn attack() -> Self {
+        Self::default()
+    }
+
+    /// Constrains input `i` to `bound` (builder style).
+    ///
+    /// Note that a bound with `lo > 0` asserts the input vector actually
+    /// carries index `i`: a missing index evaluates to 0 in the modeled
+    /// language, which such a bound excludes.
+    #[must_use]
+    pub fn bound(mut self, i: usize, bound: Interval) -> Self {
+        if self.bounds.len() <= i {
+            self.bounds.resize(i + 1, None);
+        }
+        self.bounds[i] = Some(bound);
+        self
+    }
+
+    /// The interval of input `i`.
+    pub fn get(&self, i: usize) -> Interval {
+        self.bounds
+            .get(i)
+            .copied()
+            .flatten()
+            .unwrap_or(Interval::FULL)
+    }
+}
+
+/// Evaluates `expr` to an interval over `dom` — the abstract counterpart of
+/// [`Expr::eval`].
+pub fn eval_expr(expr: &Expr, dom: &InputDomain) -> Interval {
+    match expr {
+        Expr::Const(v) => Interval::exact(*v),
+        Expr::Input(i) => dom.get(*i),
+        Expr::Add(a, b) => eval_expr(a, dom).sat_add(&eval_expr(b, dom)),
+        Expr::Sub(a, b) => eval_expr(a, dom).sat_sub(&eval_expr(b, dom)),
+        Expr::Mul(a, b) => eval_expr(a, dom).sat_mul(&eval_expr(b, dom)),
+        Expr::Div(a, b) => eval_expr(a, dom).checked_div(&eval_expr(b, dom)),
+        Expr::Min(a, b) => eval_expr(a, dom).min(&eval_expr(b, dom)),
+        Expr::Max(a, b) => eval_expr(a, dom).max(&eval_expr(b, dom)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_exact() {
+        let dom = InputDomain::attack();
+        assert_eq!(eval_expr(&Expr::Const(9), &dom), Interval::exact(9));
+    }
+
+    #[test]
+    fn inputs_default_to_full_range() {
+        let dom = InputDomain::attack();
+        assert_eq!(eval_expr(&Expr::Input(3), &dom), Interval::FULL);
+    }
+
+    #[test]
+    fn bounds_tighten_inputs() {
+        let dom = InputDomain::attack().bound(1, Interval::new(10, 20));
+        assert_eq!(eval_expr(&Expr::Input(1), &dom), Interval::new(10, 20));
+        assert_eq!(eval_expr(&Expr::Input(0), &dom), Interval::FULL);
+    }
+
+    #[test]
+    fn compound_expressions() {
+        let dom = InputDomain::attack().bound(0, Interval::new(2, 4));
+        // min(input0 * 8, 100) ∈ [16, 32]
+        let e = Expr::Input(0).mul(Expr::Const(8)).min(Expr::Const(100));
+        assert_eq!(eval_expr(&e, &dom), Interval::new(16, 32));
+    }
+
+    #[test]
+    fn abstraction_is_sound_on_samples() {
+        // For a handful of expressions and concrete inputs within the
+        // domain, the concrete result must lie in the abstract interval.
+        let dom = InputDomain::attack()
+            .bound(0, Interval::new(0, 50))
+            .bound(1, Interval::new(1, 7));
+        let exprs = [
+            Expr::Input(0).add(Expr::Input(1)),
+            Expr::Input(0).sub(Expr::Input(1)),
+            Expr::Input(0).div(Expr::Input(1)),
+            Expr::Input(0).mul(Expr::Input(1)).max(Expr::Const(3)),
+        ];
+        for e in &exprs {
+            let abs = eval_expr(e, &dom);
+            for i0 in [0u64, 1, 25, 50] {
+                for i1 in [1u64, 3, 7] {
+                    let v = e.eval(&[i0, i1]);
+                    assert!(abs.contains(v), "{e:?} on [{i0},{i1}] = {v} not in {abs}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Human-readable rendering of triage findings and plan verdicts.
+
+use crate::candidates::{Candidate, TriageReport};
+use crate::verifier::PlanVerdict;
+use ht_callgraph::{CallGraph, EdgeId};
+
+/// Renders an edge path as a call chain: `main → f → malloc`.
+pub fn chain(graph: &CallGraph, path: &[EdgeId]) -> String {
+    let Some(&first) = path.first() else {
+        return "?".to_string();
+    };
+    let mut out = graph.func(graph.edge(first).caller).name.clone();
+    for &e in path {
+        out.push_str(" → ");
+        out.push_str(&graph.func(graph.edge(e).callee).name);
+    }
+    out
+}
+
+/// One line for a candidate: class bits, key, and the decoded call chain.
+pub fn render_candidate(graph: &CallGraph, c: &Candidate) -> String {
+    format!(
+        "{:<9} fun={:<8} ccid={:<#14x} via {}",
+        c.vuln.to_string(),
+        c.fun.name(),
+        c.ccid.0,
+        chain(graph, &c.path)
+    )
+}
+
+/// The full triage report, one candidate per line.
+pub fn render_report(graph: &CallGraph, r: &TriageReport) -> String {
+    let mut out = String::new();
+    if r.is_clean() {
+        out.push_str("static triage: clean (no candidate vulnerable contexts)\n");
+    } else {
+        out.push_str(&format!(
+            "static triage: {} candidate context(s) across {} site(s)\n",
+            r.candidates.len(),
+            r.sites_seen
+        ));
+        for c in &r.candidates {
+            out.push_str("  ");
+            out.push_str(&render_candidate(graph, c));
+            out.push('\n');
+        }
+    }
+    if r.bounded {
+        out.push_str("  (bounded: recursion or budget cut the walk; findings are a lower bound)\n");
+    }
+    out
+}
+
+/// The plan verdict as a compact multi-line summary.
+pub fn render_verdict(v: &PlanVerdict) -> String {
+    format!(
+        "plan verifier: {}\n  contexts={} distinct={} collisions={} decode_failures={}\n  \
+         precision_ok={} inclusion_ok={} sites_ok={} coverage_ok={}{}\n",
+        if v.is_ok() { "OK" } else { "FAILED" },
+        v.collisions.contexts,
+        v.collisions.distinct,
+        v.collisions.collisions,
+        v.collisions.decode_failures,
+        v.precision_ok,
+        v.inclusion_ok,
+        v.sites_ok,
+        v.coverage_ok,
+        if v.bounded { " (bounded)" } else { "" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ht_callgraph::CallGraphBuilder;
+
+    #[test]
+    fn chain_decodes_names() {
+        let mut b = CallGraphBuilder::new();
+        let main = b.func("main");
+        let f = b.func("f");
+        let m = b.target("malloc");
+        let e1 = b.call(main, f);
+        let e2 = b.call(f, m);
+        let g = b.build();
+        assert_eq!(chain(&g, &[e1, e2]), "main → f → malloc");
+        assert_eq!(chain(&g, &[]), "?");
+    }
+}

@@ -1,0 +1,68 @@
+//! Static allocation-site identities.
+//!
+//! An abstract buffer is identified by the full edge path from the program
+//! entry to the allocation-API node — exactly the calling context the runtime
+//! [`Encoder`](ht_encoding::Encoder) folds into a CCID. Interning paths here
+//! gives each static site a stable index, its `FUN`, and the CCID the active
+//! plan would assign, so triage candidates resolve directly to the
+//! `{FUN, CCID, T}` a patch would carry.
+
+use ht_callgraph::EdgeId;
+use ht_encoding::{encode_context, Ccid, InstrumentationPlan};
+use ht_patch::AllocFn;
+use std::collections::HashMap;
+
+/// Index of an interned site in a [`SiteTable`].
+pub(crate) type SiteIdx = usize;
+
+/// One static allocation site: a calling context ending in an allocation
+/// edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SiteInfo {
+    /// The allocation API requested there.
+    pub fun: AllocFn,
+    /// Full edge path from the entry, allocation edge last.
+    pub path: Vec<EdgeId>,
+    /// The CCID the plan assigns this context.
+    pub ccid: Ccid,
+}
+
+/// Interner from allocation-context paths to [`SiteIdx`].
+#[derive(Debug, Default)]
+pub(crate) struct SiteTable {
+    infos: Vec<SiteInfo>,
+    index: HashMap<Vec<EdgeId>, SiteIdx>,
+}
+
+impl SiteTable {
+    /// Interns `path` (encoding it under `plan` on first sight).
+    pub fn intern(
+        &mut self,
+        path: Vec<EdgeId>,
+        fun: AllocFn,
+        plan: &InstrumentationPlan,
+    ) -> SiteIdx {
+        if let Some(&i) = self.index.get(&path) {
+            return i;
+        }
+        let ccid = encode_context(plan, &path);
+        let i = self.infos.len();
+        self.infos.push(SiteInfo {
+            fun,
+            path: path.clone(),
+            ccid,
+        });
+        self.index.insert(path, i);
+        i
+    }
+
+    /// The interned site at `i`.
+    pub fn info(&self, i: SiteIdx) -> &SiteInfo {
+        &self.infos[i]
+    }
+
+    /// Number of distinct sites seen.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+}

@@ -1,0 +1,200 @@
+//! The abstract heap state the triage interpreter walks over.
+
+use crate::interval::Interval;
+use crate::site::SiteIdx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What the analysis knows about one slot's reference to a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct RefFlags {
+    /// The referenced buffer may have been freed (the reference dangles).
+    pub may_freed: bool,
+}
+
+/// Summary of every buffer a static allocation site may have produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AbsBuf {
+    /// Possible allocation sizes.
+    pub size: Interval,
+    /// Bytes `[0, init_prefix)` are guaranteed initialized in every
+    /// instance (`u64::MAX` for `calloc`, which zero-fills).
+    pub init_prefix: u64,
+    /// Sites whose possibly-uninitialized bytes may have been copied in —
+    /// the static counterpart of the shadow analyzer's origin tracking.
+    pub origins: BTreeSet<SiteIdx>,
+    /// Some instance of this site may have been freed (wild accesses into
+    /// quarantined memory blame such sites).
+    pub may_freed: bool,
+}
+
+/// A pointer slot: which sites it may reference.
+///
+/// Empty `refs` with `maybe_null` models a definitely-NULL slot (the initial
+/// state); accesses through it are no-ops in the concrete semantics too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AbsSlot {
+    /// The slot may hold NULL.
+    pub maybe_null: bool,
+    /// Sites the slot may point into.
+    pub refs: BTreeMap<SiteIdx, RefFlags>,
+}
+
+impl AbsSlot {
+    fn null() -> Self {
+        AbsSlot {
+            maybe_null: true,
+            refs: BTreeMap::new(),
+        }
+    }
+}
+
+/// The full abstract state: one [`AbsSlot`] per program slot plus the
+/// site-indexed buffer summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AbsState {
+    pub slots: Vec<AbsSlot>,
+    pub bufs: BTreeMap<SiteIdx, AbsBuf>,
+}
+
+impl AbsState {
+    /// The entry state: every slot NULL, no buffers.
+    pub fn new(slot_count: u32) -> Self {
+        AbsState {
+            slots: vec![AbsSlot::null(); slot_count as usize],
+            bufs: BTreeMap::new(),
+        }
+    }
+
+    /// Pointwise join (control-flow merge).
+    pub fn join(&self, other: &AbsState) -> AbsState {
+        debug_assert_eq!(self.slots.len(), other.slots.len());
+        let slots = self
+            .slots
+            .iter()
+            .zip(&other.slots)
+            .map(|(a, b)| {
+                let mut refs = a.refs.clone();
+                for (&s, fl) in &b.refs {
+                    let e = refs.entry(s).or_default();
+                    e.may_freed |= fl.may_freed;
+                }
+                AbsSlot {
+                    maybe_null: a.maybe_null || b.maybe_null,
+                    refs,
+                }
+            })
+            .collect();
+        let mut bufs = self.bufs.clone();
+        for (&s, b) in &other.bufs {
+            match bufs.get_mut(&s) {
+                None => {
+                    bufs.insert(s, b.clone());
+                }
+                Some(a) => {
+                    a.size = a.size.join(&b.size);
+                    a.init_prefix = a.init_prefix.min(b.init_prefix);
+                    a.origins.extend(b.origins.iter().copied());
+                    a.may_freed |= b.may_freed;
+                }
+            }
+        }
+        AbsState { slots, bufs }
+    }
+
+    /// Marks site `s` as possibly freed: on its summary and on every slot
+    /// reference to it (free does not clear pointers, so all aliases dangle).
+    pub fn mark_freed(&mut self, s: SiteIdx) {
+        if let Some(b) = self.bufs.get_mut(&s) {
+            b.may_freed = true;
+        }
+        for slot in &mut self.slots {
+            if let Some(fl) = slot.refs.get_mut(&s) {
+                fl.may_freed = true;
+            }
+        }
+    }
+
+    /// Whether slot `idx` holds the *only* reference to site `s` and holds
+    /// it definitely (non-NULL, non-dangling) — the condition for strong
+    /// updates of the init prefix.
+    pub fn sole_definite_ref(&self, idx: usize, s: SiteIdx) -> bool {
+        let slot = &self.slots[idx];
+        if slot.maybe_null || slot.refs.len() != 1 {
+            return false;
+        }
+        match slot.refs.get(&s) {
+            Some(fl) if !fl.may_freed => {}
+            _ => return false,
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, sl)| i == idx || !sl.refs.contains_key(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(size: u64, prefix: u64) -> AbsBuf {
+        AbsBuf {
+            size: Interval::exact(size),
+            init_prefix: prefix,
+            origins: BTreeSet::new(),
+            may_freed: false,
+        }
+    }
+
+    #[test]
+    fn join_merges_slots_and_bufs() {
+        let mut a = AbsState::new(2);
+        let mut b = AbsState::new(2);
+        a.bufs.insert(0, buf(64, 64));
+        b.bufs.insert(0, buf(32, 16));
+        b.bufs.insert(1, buf(8, 0));
+        a.slots[0].maybe_null = false;
+        a.slots[0].refs.insert(0, RefFlags { may_freed: false });
+        b.slots[0].maybe_null = false;
+        b.slots[0].refs.insert(0, RefFlags { may_freed: true });
+        let j = a.join(&b);
+        assert_eq!(j.bufs[&0].size, Interval::new(32, 64));
+        assert_eq!(j.bufs[&0].init_prefix, 16, "prefix joins to the minimum");
+        assert!(j.bufs.contains_key(&1), "one-sided buffers survive");
+        assert!(!j.slots[0].maybe_null);
+        assert!(j.slots[0].refs[&0].may_freed, "dangling-or flags");
+        assert!(j.slots[1].maybe_null);
+    }
+
+    #[test]
+    fn mark_freed_hits_all_aliases() {
+        let mut st = AbsState::new(2);
+        st.bufs.insert(0, buf(64, 0));
+        for i in 0..2 {
+            st.slots[i].refs.insert(0, RefFlags::default());
+        }
+        st.mark_freed(0);
+        assert!(st.bufs[&0].may_freed);
+        assert!(st.slots[0].refs[&0].may_freed);
+        assert!(st.slots[1].refs[&0].may_freed);
+    }
+
+    #[test]
+    fn sole_definite_ref_conditions() {
+        let mut st = AbsState::new(2);
+        st.bufs.insert(0, buf(64, 0));
+        st.slots[0].maybe_null = false;
+        st.slots[0].refs.insert(0, RefFlags::default());
+        assert!(st.sole_definite_ref(0, 0));
+        // A second alias anywhere forbids strong updates.
+        st.slots[1].refs.insert(0, RefFlags::default());
+        assert!(!st.sole_definite_ref(0, 0));
+        st.slots[1].refs.clear();
+        // A dangling or possibly-NULL reference forbids them too.
+        st.slots[0].refs.get_mut(&0).unwrap().may_freed = true;
+        assert!(!st.sole_definite_ref(0, 0));
+        st.slots[0].refs.get_mut(&0).unwrap().may_freed = false;
+        st.slots[0].maybe_null = true;
+        assert!(!st.sole_definite_ref(0, 0));
+    }
+}

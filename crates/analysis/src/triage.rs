@@ -1,0 +1,507 @@
+//! The static vulnerability triage pass: an abstract interpreter over the
+//! modeled-program IR.
+//!
+//! The walker executes a [`Program`] symbolically under an adversarial
+//! [`InputDomain`]: every expression evaluates to an [`Interval`], every
+//! allocation site is identified by its full calling context (and hence the
+//! CCID the active [`InstrumentationPlan`] would stamp on it), and buffer
+//! liveness/initialization flows through alloc/free/realloc/copy exactly as
+//! in the concrete heap. Wherever an access *may* exceed its buffer, follow a
+//! dangling reference, or read bytes no execution is guaranteed to have
+//! written, the site is reported as a candidate `{FUN, CCID, T}` — the static
+//! over-approximation of what the shadow analyzer would patch after seeing a
+//! concrete attack.
+
+use crate::candidates::{Candidate, TriageReport};
+use crate::domain::{eval_expr, InputDomain};
+use crate::interval::Interval;
+use crate::site::{SiteIdx, SiteTable};
+use crate::state::{AbsBuf, AbsState, RefFlags};
+use ht_encoding::InstrumentationPlan;
+use ht_patch::{AllocFn, VulnFlags};
+use ht_simprog::{Expr, Program, SlotId, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Triage tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageConfig {
+    /// Bounds on the attack input (default: fully adversarial).
+    pub domain: InputDomain,
+    /// Red-zone width the shadow analyzer runs with; accesses reaching past
+    /// `size + redzone` may land in *any* allocation, so blame fans out to
+    /// every live site (mirroring neighbour-blaming warnings).
+    pub redzone: u64,
+    /// Loop-summary fixpoint iteration cap; hitting it sets
+    /// [`TriageReport::bounded`].
+    pub loop_fixpoint_cap: usize,
+    /// Abstract statement-visit budget; exhausting it sets `bounded`.
+    pub max_abstract_steps: u64,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        Self {
+            domain: InputDomain::attack(),
+            redzone: 16,
+            loop_fixpoint_cap: 64,
+            max_abstract_steps: 1 << 22,
+        }
+    }
+}
+
+/// Runs the static triage over `prog` under `plan`.
+pub fn triage(prog: &Program, plan: &InstrumentationPlan, cfg: &TriageConfig) -> TriageReport {
+    let mut t = Triage {
+        prog,
+        plan,
+        cfg,
+        sites: SiteTable::default(),
+        stack_edges: Vec::new(),
+        on_stack: vec![false; prog.graph().func_count()],
+        found: BTreeMap::new(),
+        bounded: false,
+        steps: 0,
+    };
+    let entry = prog.entry();
+    t.on_stack[entry.index()] = true;
+    let mut st = AbsState::new(prog.slot_count());
+    // Budget exhaustion aborts the walk; `bounded` is already set then.
+    let _ = t.exec_body(prog.body(entry), &mut st);
+
+    let candidates = t
+        .found
+        .into_values()
+        .map(|acc| {
+            let info = t.sites.info(acc.site);
+            Candidate {
+                fun: info.fun,
+                ccid: info.ccid,
+                vuln: acc.vuln,
+                path: info.path.clone(),
+            }
+        })
+        .collect();
+    TriageReport {
+        candidates,
+        sites_seen: t.sites.len(),
+        bounded: t.bounded,
+    }
+}
+
+/// Raised when the abstract step budget runs out.
+struct Exhausted;
+
+struct CandidateAcc {
+    vuln: VulnFlags,
+    site: SiteIdx,
+}
+
+struct Triage<'a> {
+    prog: &'a Program,
+    plan: &'a InstrumentationPlan,
+    cfg: &'a TriageConfig,
+    sites: SiteTable,
+    stack_edges: Vec<ht_callgraph::EdgeId>,
+    on_stack: Vec<bool>,
+    found: BTreeMap<(AllocFn, u64), CandidateAcc>,
+    bounded: bool,
+    steps: u64,
+}
+
+impl<'a> Triage<'a> {
+    fn eval(&self, e: &Expr) -> Interval {
+        eval_expr(e, &self.cfg.domain)
+    }
+
+    fn emit(&mut self, site: SiteIdx, vuln: VulnFlags) {
+        let info = self.sites.info(site);
+        let key = (info.fun, info.ccid.0);
+        self.found
+            .entry(key)
+            .and_modify(|acc| acc.vuln = acc.vuln.union(vuln))
+            .or_insert(CandidateAcc { vuln, site });
+    }
+
+    /// Blames every site currently summarized: a wild access (past the red
+    /// zone) may land in any allocation — or, for freed sites, in
+    /// quarantined memory — so the shadow analyzer could attribute it to any
+    /// of them.
+    fn emit_wild(&mut self, st: &AbsState, checked_read: bool) {
+        let sites: Vec<(SiteIdx, bool)> = st.bufs.iter().map(|(&s, b)| (s, b.may_freed)).collect();
+        for (s, freed) in sites {
+            self.emit(s, VulnFlags::OVERFLOW);
+            if freed {
+                self.emit(s, VulnFlags::USE_AFTER_FREE);
+            }
+            if checked_read {
+                self.emit(s, VulnFlags::UNINIT_READ);
+            }
+        }
+    }
+
+    fn exec_body(&mut self, stmts: &[Stmt], st: &mut AbsState) -> Result<(), Exhausted> {
+        for stmt in stmts {
+            self.exec_stmt(stmt, st)?;
+        }
+        Ok(())
+    }
+
+    fn call_edge(&mut self, e: ht_callgraph::EdgeId, st: &mut AbsState) -> Result<(), Exhausted> {
+        let callee = self.prog.graph().edge(e).callee;
+        if self.on_stack[callee.index()] {
+            // Recursion: cut the cycle. Contexts with repeated edges are not
+            // enumerated, so the strict over-approximation claim is waived.
+            self.bounded = true;
+            return Ok(());
+        }
+        self.on_stack[callee.index()] = true;
+        self.stack_edges.push(e);
+        let r = self.exec_body(self.prog.body(callee), st);
+        self.stack_edges.pop();
+        self.on_stack[callee.index()] = false;
+        r
+    }
+
+    /// Interns the allocation context `stack + edge` for `fun`.
+    fn intern_site(&mut self, edge: ht_callgraph::EdgeId, fun: AllocFn) -> SiteIdx {
+        let mut path = self.stack_edges.clone();
+        path.push(edge);
+        self.sites.intern(path, fun, self.plan)
+    }
+
+    /// Binds `slot` to a fresh-instance summary of `site`.
+    fn bind_slot(st: &mut AbsState, slot: SlotId, site: SiteIdx) {
+        let sl = &mut st.slots[slot.index()];
+        sl.maybe_null = false;
+        sl.refs = BTreeMap::from([(site, RefFlags::default())]);
+    }
+
+    /// Adds (or weakly joins) a buffer summary for `site`.
+    fn upsert_buf(
+        st: &mut AbsState,
+        site: SiteIdx,
+        size: Interval,
+        init_prefix: u64,
+        origins: BTreeSet<SiteIdx>,
+    ) {
+        match st.bufs.get_mut(&site) {
+            None => {
+                st.bufs.insert(
+                    site,
+                    AbsBuf {
+                        size,
+                        init_prefix,
+                        origins,
+                        may_freed: false,
+                    },
+                );
+            }
+            Some(b) => {
+                // The site summarizes every instance it ever produced.
+                b.size = b.size.join(&size);
+                b.init_prefix = b.init_prefix.min(init_prefix);
+                b.origins.extend(origins);
+            }
+        }
+    }
+
+    /// Reports extent/liveness candidates for one access through `slot` and
+    /// returns whether the access may run wild (past the red zone).
+    fn check_access(&mut self, st: &AbsState, slot: SlotId, extent_hi: u64) -> bool {
+        let refs: Vec<(SiteIdx, RefFlags)> = st.slots[slot.index()]
+            .refs
+            .iter()
+            .map(|(&s, &fl)| (s, fl))
+            .collect();
+        let mut wild = false;
+        for (s, fl) in refs {
+            let Some(buf) = st.bufs.get(&s) else { continue };
+            if extent_hi > buf.size.lo {
+                self.emit(s, VulnFlags::OVERFLOW);
+            }
+            if extent_hi > buf.size.lo.saturating_add(self.cfg.redzone) {
+                wild = true;
+            }
+            if fl.may_freed {
+                self.emit(s, VulnFlags::USE_AFTER_FREE);
+            }
+        }
+        wild
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, st: &mut AbsState) -> Result<(), Exhausted> {
+        self.steps += 1;
+        if self.steps > self.cfg.max_abstract_steps {
+            self.bounded = true;
+            return Err(Exhausted);
+        }
+        match stmt {
+            Stmt::Call(e) => self.call_edge(*e, st)?,
+            Stmt::CallVirtual { edges, selector: _ } => {
+                // The selector is input-derived, hence unknown: join the
+                // effect of every candidate callee from the same pre-state.
+                let mut joined: Option<AbsState> = None;
+                for &e in edges {
+                    let mut branch = st.clone();
+                    self.call_edge(e, &mut branch)?;
+                    joined = Some(match joined {
+                        None => branch,
+                        Some(j) => j.join(&branch),
+                    });
+                }
+                if let Some(j) = joined {
+                    *st = j;
+                }
+            }
+            Stmt::Alloc {
+                edge,
+                slot,
+                fun,
+                size,
+                align: _,
+            } => {
+                let size_iv = self.eval(size);
+                let site = self.intern_site(*edge, *fun);
+                let init = if *fun == AllocFn::Calloc { u64::MAX } else { 0 };
+                Self::upsert_buf(st, site, size_iv, init, BTreeSet::new());
+                Self::bind_slot(st, *slot, site);
+            }
+            Stmt::Realloc {
+                edge,
+                slot,
+                new_size,
+            } => {
+                let size_iv = self.eval(new_size);
+                let old = st.slots[slot.index()].clone();
+                // The old buffer (if any) is freed; its bytes and their
+                // validity move to the new one.
+                let mut prefix = if old.maybe_null || old.refs.is_empty() {
+                    0 // realloc(NULL) behaves as malloc: uninitialized
+                } else {
+                    u64::MAX
+                };
+                let mut origins = BTreeSet::new();
+                for &s in old.refs.keys() {
+                    if let Some(b) = st.bufs.get(&s) {
+                        prefix = prefix.min(b.init_prefix);
+                        origins.insert(s);
+                        origins.extend(b.origins.iter().copied());
+                    }
+                    st.mark_freed(s);
+                }
+                let site = self.intern_site(*edge, AllocFn::Realloc);
+                Self::upsert_buf(st, site, size_iv, prefix, origins);
+                Self::bind_slot(st, *slot, site);
+            }
+            Stmt::Free { slot } => {
+                let sites: Vec<SiteIdx> = st.slots[slot.index()].refs.keys().copied().collect();
+                for s in sites {
+                    st.mark_freed(s);
+                }
+            }
+            Stmt::Clear { slot } => {
+                let sl = &mut st.slots[slot.index()];
+                sl.maybe_null = true;
+                sl.refs.clear();
+            }
+            Stmt::Write {
+                slot,
+                offset,
+                len,
+                byte: _,
+            } => {
+                if st.slots[slot.index()].refs.is_empty() {
+                    return Ok(()); // definitely NULL: concrete no-op
+                }
+                let off = self.eval(offset);
+                let len_iv = self.eval(len);
+                if len_iv.hi == 0 {
+                    return Ok(()); // zero-length accesses are skipped
+                }
+                let extent_hi = off.hi.saturating_add(len_iv.hi);
+                let wild = self.check_access(st, *slot, extent_hi);
+                // Strong init-prefix update, only when this is provably the
+                // one live instance: the write definitely lands there.
+                let sole = st.slots[slot.index()]
+                    .refs
+                    .keys()
+                    .next()
+                    .copied()
+                    .filter(|&s| st.sole_definite_ref(slot.index(), s));
+                if let Some(s) = sole {
+                    if let Some(buf) = st.bufs.get_mut(&s) {
+                        if off.hi <= buf.init_prefix {
+                            buf.init_prefix = buf.init_prefix.max(off.lo.saturating_add(len_iv.lo));
+                        }
+                    }
+                }
+                if wild {
+                    self.emit_wild(st, false);
+                }
+            }
+            Stmt::Copy {
+                src,
+                src_off,
+                dst,
+                dst_off,
+                len,
+            } => self.exec_copy(st, *src, src_off, *dst, dst_off, len),
+            Stmt::Read {
+                slot,
+                offset,
+                len,
+                sink,
+            } => {
+                if st.slots[slot.index()].refs.is_empty() {
+                    return Ok(());
+                }
+                let off = self.eval(offset);
+                let len_iv = self.eval(len);
+                if len_iv.hi == 0 {
+                    return Ok(());
+                }
+                let extent_hi = off.hi.saturating_add(len_iv.hi);
+                let wild = self.check_access(st, *slot, extent_hi);
+                if sink.checks_vbits() {
+                    // Bytes past the guaranteed-initialized prefix may be
+                    // invalid; blame the buffer and wherever its invalid
+                    // bytes were copied from (origin tracking).
+                    let refs: Vec<SiteIdx> = st.slots[slot.index()].refs.keys().copied().collect();
+                    for s in refs {
+                        let Some(buf) = st.bufs.get(&s) else { continue };
+                        if extent_hi > buf.init_prefix {
+                            let origins: Vec<SiteIdx> = buf.origins.iter().copied().collect();
+                            self.emit(s, VulnFlags::UNINIT_READ);
+                            for o in origins {
+                                self.emit(o, VulnFlags::UNINIT_READ);
+                            }
+                        }
+                    }
+                }
+                if wild {
+                    self.emit_wild(st, sink.checks_vbits());
+                }
+            }
+            Stmt::Repeat { times, body } => {
+                let t = self.eval(times);
+                if t.hi == 0 {
+                    return Ok(()); // loop never runs
+                }
+                // Summarize the loop with a join-until-fixpoint over the
+                // loop-head state. All expression values are input-derived
+                // (not state-derived), so the chain is finite; the cap is a
+                // safety net.
+                let mut head = st.clone();
+                let mut converged = false;
+                for _ in 0..self.cfg.loop_fixpoint_cap {
+                    let mut after = head.clone();
+                    self.exec_body(body, &mut after)?;
+                    let merged = head.join(&after);
+                    if merged == head {
+                        converged = true;
+                        break;
+                    }
+                    head = merged;
+                }
+                if !converged {
+                    self.bounded = true;
+                }
+                // At fixpoint, head covers both the zero-iteration state
+                // (head ⊒ entry) and every post-iteration state.
+                *st = head;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let c = self.eval(cond);
+                if c.lo > 0 {
+                    self.exec_body(then_, st)?;
+                } else if c.hi == 0 {
+                    self.exec_body(else_, st)?;
+                } else {
+                    let mut t_branch = st.clone();
+                    self.exec_body(then_, &mut t_branch)?;
+                    self.exec_body(else_, st)?;
+                    *st = st.join(&t_branch);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_copy(
+        &mut self,
+        st: &mut AbsState,
+        src: SlotId,
+        src_off: &Expr,
+        dst: SlotId,
+        dst_off: &Expr,
+        len: &Expr,
+    ) {
+        if st.slots[src.index()].refs.is_empty() || st.slots[dst.index()].refs.is_empty() {
+            return; // either pointer definitely NULL: concrete no-op
+        }
+        let so = self.eval(src_off);
+        let doff = self.eval(dst_off);
+        let len_iv = self.eval(len);
+        if len_iv.hi == 0 {
+            return;
+        }
+        let r_extent = so.hi.saturating_add(len_iv.hi);
+        let w_extent = doff.hi.saturating_add(len_iv.hi);
+        let wild_read = self.check_access(st, src, r_extent);
+        let wild_write = self.check_access(st, dst, w_extent);
+        if wild_read || wild_write {
+            // A copy never checks validity bits, so no UR here — but wild
+            // reads may pull bytes (and origins) from any buffer.
+            self.emit_wild(st, false);
+        }
+
+        // Does the copy provably move only initialized bytes?
+        let definitely_init = !wild_read
+            && st.slots[src.index()]
+                .refs
+                .keys()
+                .next()
+                .copied()
+                .filter(|&s| st.sole_definite_ref(src.index(), s))
+                .and_then(|s| st.bufs.get(&s))
+                .is_some_and(|b| r_extent <= b.init_prefix);
+
+        // Taint sources: the source sites themselves plus their origins
+        // (invalid bytes keep blaming where they were first left invalid).
+        let mut taint: BTreeSet<SiteIdx> = BTreeSet::new();
+        if !definitely_init {
+            for &s in st.slots[src.index()].refs.keys() {
+                taint.insert(s);
+                if let Some(b) = st.bufs.get(&s) {
+                    taint.extend(b.origins.iter().copied());
+                }
+            }
+            if wild_read {
+                taint.extend(st.bufs.keys().copied());
+            }
+        }
+
+        let sole_dst = st.slots[dst.index()]
+            .refs
+            .keys()
+            .next()
+            .copied()
+            .filter(|&d| st.sole_definite_ref(dst.index(), d));
+        let dst_sites: Vec<SiteIdx> = st.slots[dst.index()].refs.keys().copied().collect();
+        for d in dst_sites {
+            let Some(buf) = st.bufs.get_mut(&d) else {
+                continue;
+            };
+            if definitely_init {
+                if sole_dst == Some(d) && doff.hi <= buf.init_prefix {
+                    buf.init_prefix = buf.init_prefix.max(doff.lo.saturating_add(len_iv.lo));
+                }
+            } else {
+                // Possibly-invalid bytes may now sit anywhere from dst_off
+                // on: shrink the guarantee and record the origins.
+                buf.init_prefix = buf.init_prefix.min(doff.lo);
+                buf.origins.extend(taint.iter().copied());
+            }
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the HeapTherapy+ evaluation.
 //!
 //! ```text
-//! reproduce [all|fig2|table1|table2|table3|table4|encoding|fig8|fig9|services|ablations]
+//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations]
 //!           [--allocs N] [--samples N] [--requests N]
 //! ```
 //!
@@ -9,7 +9,9 @@
 //! values differ (simulated substrate); the shape is what reproduces. Run
 //! with `--release` for meaningful timings.
 
-use ht_bench::{ablation, encoding, fig2, fig8, fig9, services, table1, table2, table3, table4};
+use ht_bench::{
+    ablation, encoding, fig2, fig8, fig9, lint, services, table1, table2, table3, table4,
+};
 
 struct Opts {
     what: String,
@@ -83,6 +85,16 @@ fn run_table2() {
     }
     println!("\n{}", table2::summary(&rows));
     println!("(paper: patches generated and attacks prevented for all programs)");
+}
+
+fn run_lint() {
+    header("Static triage — static-vs-dynamic agreement per vulnerable program");
+    let rows = lint::rows();
+    for r in &rows {
+        println!("{}", r.table_row());
+    }
+    println!("\n{}", lint::summary(&rows));
+    println!("(static candidates must cover every dynamically generated patch)");
 }
 
 fn run_table3() {
@@ -328,6 +340,7 @@ fn main() {
         "fig2" => run_fig2(),
         "table1" => run_table1(),
         "table2" => run_table2(),
+        "lint" => run_lint(),
         "table3" => run_table3(),
         "table4" => run_table4(&opts),
         "encoding" => run_encoding(&opts),
@@ -341,6 +354,7 @@ fn main() {
             run_extras_silently_ok();
             run_table1();
             run_table2();
+            run_lint();
             run_table3();
             run_table4(&opts);
             run_encoding(&opts);
@@ -352,7 +366,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown target `{other}`; expected one of all, fig2, table1, table2, \
-                 table3, table4, encoding, fig8, fig9, services, ablations"
+                 table3, table4, encoding, fig8, fig9, services, ablations, lint"
             );
             std::process::exit(2);
         }

@@ -19,12 +19,14 @@
 //! | [`fig9`] | Fig. 9 — memory overhead |
 //! | [`services`] | §VIII-B2 — Nginx/MySQL throughput |
 //! | [`ablation`] | design-choice ablations (stack walking, guard-all, quota, lookup) |
+//! | [`lint`] | static triage — static-vs-dynamic agreement on the Table II suite |
 
 pub mod ablation;
 pub mod encoding;
 pub mod fig2;
 pub mod fig8;
 pub mod fig9;
+pub mod lint;
 pub mod services;
 pub mod table1;
 pub mod table2;

@@ -4,20 +4,20 @@
 //! sites*. Two distinct call sites from `f` to `g` are two distinct edges —
 //! calling-context encoding distinguishes them, so the graph must too.
 
-use serde::{Deserialize, Serialize};
+use ht_jsonio::{obj, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Identifier of a function node in a [`CallGraph`].
 ///
 /// `FuncId`s are dense indices assigned by [`CallGraphBuilder`] in insertion
 /// order; use them with [`CallGraph::func`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(pub u32);
 
 /// Identifier of a call-site edge in a [`CallGraph`].
 ///
 /// Dense indices in insertion order; use them with [`CallGraph::edge`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl FuncId {
@@ -47,7 +47,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// Per-function metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuncInfo {
     /// Human-readable name (e.g. `"main"`, `"malloc"`).
     pub name: String,
@@ -61,7 +61,7 @@ pub struct FuncInfo {
 }
 
 /// Per-call-site metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeInfo {
     /// The calling function.
     pub caller: FuncId,
@@ -75,7 +75,7 @@ pub struct EdgeInfo {
 ///
 /// Build one with [`CallGraphBuilder`]. The graph may contain cycles
 /// (recursion); all analyses in this crate handle back edges.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallGraph {
     funcs: Vec<FuncInfo>,
     edges: Vec<EdgeInfo>,
@@ -144,6 +144,65 @@ impl CallGraph {
         self.func_ids()
             .filter(|&f| self.func(f).in_edges.is_empty())
             .collect()
+    }
+}
+
+impl ToJson for CallGraph {
+    fn to_json(&self) -> Json {
+        // Only names, target flags, and edge endpoints are stored; edge
+        // adjacency, site indices, and the target list are derived on load.
+        let funcs = self
+            .funcs
+            .iter()
+            .map(|f| {
+                obj([
+                    ("name", Json::Str(f.name.clone())),
+                    ("is_target", Json::Bool(f.is_target)),
+                ])
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| {
+                Json::Arr(vec![
+                    Json::U64(e.caller.0 as u64),
+                    Json::U64(e.callee.0 as u64),
+                ])
+            })
+            .collect();
+        obj([("funcs", Json::Arr(funcs)), ("edges", Json::Arr(edges))])
+    }
+}
+
+impl FromJson for CallGraph {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut b = CallGraphBuilder::new();
+        for f in v.req_arr("funcs")? {
+            let name = f.req_str("name")?;
+            if f.req_bool("is_target")? {
+                b.target(name);
+            } else {
+                b.func(name);
+            }
+        }
+        for e in v.req_arr("edges")? {
+            let pair = e
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| JsonError::shape("edge must be a [caller, callee] pair"))?;
+            let ends: Vec<u32> = pair
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .filter(|&i| i < b.func_count() as u64)
+                        .map(|i| i as u32)
+                        .ok_or_else(|| JsonError::shape("edge endpoint out of range"))
+                })
+                .collect::<Result<_, _>>()?;
+            b.call(FuncId(ends[0]), FuncId(ends[1]));
+        }
+        Ok(b.build())
     }
 }
 
@@ -334,14 +393,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut b = CallGraphBuilder::new();
         let main = b.func("main");
         let m = b.target("malloc");
         b.call(main, m);
+        b.call(main, m);
         let g = b.build();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: CallGraph = serde_json::from_str(&json).unwrap();
+        let json = g.to_json().to_compact();
+        let back = CallGraph::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(g, back);
+        assert!(
+            CallGraph::from_json(&Json::parse("{\"funcs\":[],\"edges\":[[0,1]]}").unwrap())
+                .is_err()
+        );
     }
 }

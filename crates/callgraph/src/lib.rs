@@ -37,6 +37,8 @@
 //! assert!(sites.contains(e1) && sites.contains(e2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dot;
 pub mod graph;
 pub mod reach;

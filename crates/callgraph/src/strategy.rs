@@ -9,11 +9,11 @@
 
 use crate::graph::{CallGraph, EdgeId, FuncId};
 use crate::reach::Reachability;
-use serde::{Deserialize, Serialize};
+use ht_jsonio::{obj, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A set of call-site edges, represented as a dense bitset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeSet {
     bits: Vec<bool>,
 }
@@ -70,6 +70,33 @@ impl EdgeSet {
     }
 }
 
+impl ToJson for EdgeSet {
+    fn to_json(&self) -> Json {
+        obj([
+            ("universe", Json::U64(self.bits.len() as u64)),
+            (
+                "members",
+                Json::Arr(self.iter().map(|e| Json::U64(e.0 as u64)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for EdgeSet {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let universe = v.req_u64("universe")? as usize;
+        let mut bits = vec![false; universe];
+        for m in v.req_arr("members")? {
+            let i = m
+                .as_u64()
+                .filter(|&i| i < universe as u64)
+                .ok_or_else(|| JsonError::shape("edge-set member out of range"))?;
+            bits[i as usize] = true;
+        }
+        Ok(EdgeSet { bits })
+    }
+}
+
 impl fmt::Display for EdgeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -87,7 +114,7 @@ impl fmt::Display for EdgeSet {
 ///
 /// Ordered from most to least instrumentation:
 /// `Fcs ⊇ Tcs ⊇ Slim ⊇ Incremental` (verified by property test).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Strategy {
     /// Full-Call-Site: instrument every call site. This is what PCC, PCCE and
     /// DeltaPath do out of the box.
@@ -153,6 +180,24 @@ impl Strategy {
 impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl ToJson for Strategy {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Strategy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| JsonError::shape("strategy must be a string"))?;
+        Strategy::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| JsonError::shape(format!("unknown strategy `{name}`")))
     }
 }
 

@@ -15,6 +15,11 @@
 //!    program runs over the defended allocator; only buffers whose
 //!    `(FUN, CCID)` hits the table are enhanced.
 //!
+//! A static pre-pass ([`HeapTherapy::lint`]) complements the dynamic loop:
+//! it triages candidate vulnerable allocation contexts without running any
+//! attack, verifies the encoding plan's claims, and cross-checks that the
+//! static candidates over-approximate the dynamic patches.
+//!
 //! [`HeapTherapy::full_cycle`] performs the whole loop against a
 //! [`ht_vulnapps::VulnApp`] and verifies the paper's Table II claims: the
 //! attack works undefended, the analyzer identifies the right vulnerability
@@ -34,9 +39,13 @@
 //! assert!(cycle.benign_ok);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod lint;
 pub mod pipeline;
 pub mod report;
 
+pub use lint::{LintReport, PlanVerdict};
 pub use pipeline::{
     AnalysisReport, CycleReport, HeapTherapy, InstrumentedProgram, PipelineConfig, ProtectedRun,
 };

@@ -51,6 +51,8 @@
 //! assert_ne!(deep, enc.current()); // different contexts, different CCIDs
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod encoder;
 pub mod plan;

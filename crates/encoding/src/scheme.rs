@@ -1,6 +1,6 @@
 //! Encoding schemes and the CCID newtype.
 
-use serde::{Deserialize, Serialize};
+use ht_jsonio::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// An encoded calling context — the paper's *Calling Context ID*.
@@ -9,10 +9,22 @@ use std::fmt;
 /// produced it; comparing CCIDs across plans is meaningless.
 ///
 /// [`InstrumentationPlan`]: crate::InstrumentationPlan
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ccid(pub u64);
+
+impl ToJson for Ccid {
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Ccid {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_u64()
+            .map(Ccid)
+            .ok_or_else(|| JsonError::shape("CCID must be an integer"))
+    }
+}
 
 impl fmt::Display for Ccid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -33,7 +45,7 @@ impl From<u64> for Ccid {
 }
 
 /// How `V` is updated at an instrumented call site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Probabilistic Calling Context (Bond & McKinley): `V = 3·V + c`
     /// (wrapping), with `c` a pseudo-random per-site constant. Collisions are
@@ -94,6 +106,24 @@ impl Scheme {
 impl fmt::Display for Scheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl ToJson for Scheme {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Scheme {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| JsonError::shape("scheme must be a string"))?;
+        Scheme::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| JsonError::shape(format!("unknown scheme `{name}`")))
     }
 }
 

@@ -5,9 +5,10 @@
 //! * a line-oriented text format, one patch per line —
 //!   `malloc 0x1f3a OF|UR  # CVE-2014-0160` — matching the paper's Figure 5
 //!   presentation, and
-//! * JSON (serde), for tooling.
+//! * JSON, for tooling.
 
 use crate::{AllocFn, Patch, VulnFlags};
+use ht_jsonio::{FromJson, Json, ToJson};
 use std::fmt;
 
 /// Error reading a configuration file.
@@ -103,7 +104,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 /// Renders patches as pretty JSON.
 pub fn to_config_json(patches: &[Patch]) -> String {
-    serde_json::to_string_pretty(patches).expect("patches serialize infallibly")
+    Json::Arr(patches.iter().map(Patch::to_json).collect()).to_pretty()
 }
 
 /// Parses the JSON format.
@@ -112,7 +113,14 @@ pub fn to_config_json(patches: &[Patch]) -> String {
 ///
 /// [`ConfigError::Json`] on malformed input.
 pub fn from_config_json(json: &str) -> Result<Vec<Patch>, ConfigError> {
-    serde_json::from_str(json).map_err(|e| ConfigError::Json(e.to_string()))
+    let doc = Json::parse(json).map_err(|e| ConfigError::Json(e.to_string()))?;
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| ConfigError::Json("expected a JSON array of patches".into()))?;
+    items
+        .iter()
+        .map(|item| Patch::from_json(item).map_err(|e| ConfigError::Json(e.to_string())))
+        .collect()
 }
 
 #[cfg(test)]

@@ -26,6 +26,8 @@
 //! assert_eq!(table.lookup(AllocFn::Malloc, 0x9999), None);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod table;
 pub mod vuln;
@@ -34,11 +36,11 @@ pub use config::{from_config_json, from_config_text, to_config_json, to_config_t
 pub use table::PatchTable;
 pub use vuln::{AllocFn, VulnFlags};
 
-use serde::{Deserialize, Serialize};
+use ht_jsonio::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// One heap patch: `{FUN, CCID, T}` plus optional provenance.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Patch {
     /// The allocation API through which the vulnerable buffer is requested.
     pub alloc_fn: AllocFn,
@@ -47,7 +49,7 @@ pub struct Patch {
     /// Vulnerability type bits: which defenses to apply.
     pub vuln: VulnFlags,
     /// Free-form provenance (e.g. the CVE id the attack input exploited).
-    #[serde(default, skip_serializing_if = "String::is_empty")]
+    /// Omitted from the JSON form when empty.
     pub origin: String,
 }
 
@@ -72,6 +74,47 @@ impl Patch {
     /// The hash-table key of this patch.
     pub fn key(&self) -> (AllocFn, u64) {
         (self.alloc_fn, self.ccid)
+    }
+}
+
+impl ToJson for Patch {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("alloc_fn".to_string(), self.alloc_fn.to_json()),
+            ("ccid".to_string(), Json::U64(self.ccid)),
+            ("vuln".to_string(), self.vuln.to_json()),
+        ];
+        if !self.origin.is_empty() {
+            members.push(("origin".to_string(), Json::Str(self.origin.clone())));
+        }
+        Json::Obj(members)
+    }
+}
+
+impl FromJson for Patch {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let alloc_fn = AllocFn::from_json(
+            v.get("alloc_fn")
+                .ok_or_else(|| JsonError::shape("patch missing `alloc_fn`"))?,
+        )?;
+        let ccid = v.req_u64("ccid")?;
+        let vuln = VulnFlags::from_json(
+            v.get("vuln")
+                .ok_or_else(|| JsonError::shape("patch missing `vuln`"))?,
+        )?;
+        let origin = match v.get("origin") {
+            None => String::new(),
+            Some(o) => o
+                .as_str()
+                .ok_or_else(|| JsonError::shape("patch `origin` must be a string"))?
+                .to_string(),
+        };
+        Ok(Patch {
+            alloc_fn,
+            ccid,
+            vuln,
+            origin,
+        })
     }
 }
 

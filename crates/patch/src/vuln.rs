@@ -1,6 +1,6 @@
 //! Vulnerability-type flags and allocation-API names.
 
-use serde::{Deserialize, Serialize};
+use ht_jsonio::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 use std::str::FromStr;
@@ -10,8 +10,7 @@ use std::str::FromStr;
 /// `calloc` is distinguished from `malloc` because the pair
 /// `(FUN, CCID)` is the patch key under the Incremental encoding — different
 /// interception functions are invoked per API (paper Section IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AllocFn {
     /// `malloc(size)`
     Malloc,
@@ -75,15 +74,27 @@ impl FromStr for AllocFn {
     }
 }
 
+impl ToJson for AllocFn {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for AllocFn {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .ok_or_else(|| JsonError::shape("AllocFn must be a string"))?
+            .parse()
+            .map_err(|e: ParseVulnError| JsonError::shape(e.to_string()))
+    }
+}
+
 /// The paper's three-bit vulnerability-type field `T`.
 ///
 /// A hand-rolled bitflag type (the `bitflags` crate is outside this
 /// project's dependency allowance); the bit layout matches the metadata-word
 /// type field of the online defense (crate `ht-defense`).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VulnFlags(u8);
 
 impl VulnFlags {
@@ -127,6 +138,25 @@ impl VulnFlags {
     /// Number of distinct vulnerability types present.
     pub fn count(self) -> u32 {
         self.0.count_ones()
+    }
+}
+
+impl ToJson for VulnFlags {
+    fn to_json(&self) -> Json {
+        // Wire form is the bare bit pattern, matching the metadata word.
+        Json::U64(self.0 as u64)
+    }
+}
+
+impl FromJson for VulnFlags {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let bits = v
+            .as_u64()
+            .ok_or_else(|| JsonError::shape("VulnFlags must be an integer"))?;
+        if bits > 0b111 {
+            return Err(JsonError::shape(format!("VulnFlags `{bits}` out of range")));
+        }
+        Ok(VulnFlags(bits as u8))
     }
 }
 
@@ -241,15 +271,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_forms() {
+    fn json_wire_forms() {
+        assert_eq!(AllocFn::Malloc.to_json().to_compact(), "\"malloc\"");
         assert_eq!(
-            serde_json::to_string(&AllocFn::Malloc).unwrap(),
-            "\"malloc\""
-        );
-        assert_eq!(
-            serde_json::to_string(&(VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ)).unwrap(),
+            (VulnFlags::OVERFLOW | VulnFlags::UNINIT_READ)
+                .to_json()
+                .to_compact(),
             "5"
         );
+        assert_eq!(
+            AllocFn::from_json(&Json::parse("\"calloc\"").unwrap()).unwrap(),
+            AllocFn::Calloc
+        );
+        assert_eq!(
+            VulnFlags::from_json(&Json::parse("7").unwrap()).unwrap(),
+            VulnFlags::ALL
+        );
+        assert!(VulnFlags::from_json(&Json::parse("8").unwrap()).is_err());
+        assert!(AllocFn::from_json(&Json::parse("\"mmap\"").unwrap()).is_err());
     }
 
     #[test]

@@ -51,6 +51,8 @@
 //! assert!(patches[0].vuln.contains(VulnFlags::OVERFLOW));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analyzer;
 pub mod bits;
 pub mod heap;

@@ -413,7 +413,6 @@ pub fn run_plain(prog: &Program, plan: &InstrumentationPlan, input: &[u64]) -> R
     Interpreter::new(prog, plan, crate::PlainBackend::new()).run(input)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

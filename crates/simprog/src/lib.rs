@@ -47,6 +47,8 @@
 //! assert_eq!(report.leaked, vec![0xAA; 8]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod builder;
 pub mod interp;

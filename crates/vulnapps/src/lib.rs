@@ -22,6 +22,8 @@
 //!
 //! [`RunReport::leaked`]: ht_simprog::RunReport
 
+#![forbid(unsafe_code)]
+
 pub mod samate;
 
 mod apps;

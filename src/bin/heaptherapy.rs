@@ -7,6 +7,7 @@
 //! heaptherapy protect <app> --patches patches.conf [--attack N]
 //! heaptherapy demo <app>
 //! heaptherapy decode <app> --fun malloc --ccid 0x1f3a [--scheme additive]
+//! heaptherapy lint <app> [--strategy fcs|tcs|slim|incremental] [--scheme pcc|positional|additive]
 //! heaptherapy instrument <app> [--strategy fcs|tcs|slim|incremental]
 //! ```
 
@@ -258,6 +259,40 @@ fn cmd_decode(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_lint(args: &Args) -> ExitCode {
+    let Some(name) = args.positional.get(1) else {
+        eprintln!("usage: heaptherapy lint <app|spec-bench> [--strategy S] [--scheme S]");
+        return ExitCode::from(2);
+    };
+    let ht = pipeline(args);
+    if let Some(app) = find_app(name) {
+        let ip = ht.instrument(&app.program);
+        let report = ht.lint(&app);
+        print!("{}", report.render(&ip));
+        println!("{}", report.agreement_row());
+        return ExitCode::from(report.exit_code() as u8);
+    }
+    // Not a vulnapp — lint a SPEC workload model as a clean target.
+    if let Some(bench) = heaptherapy_plus::simprog::spec::spec_bench(name) {
+        let w = heaptherapy_plus::simprog::spec::build_spec_workload(bench);
+        let ip = ht.instrument(&w.program);
+        let triage = ht.static_triage(&ip);
+        let verdict = ht.verify_plan(&ip);
+        print!(
+            "{}{}",
+            heaptherapy_plus::analysis::render_report(w.program.graph(), &triage),
+            heaptherapy_plus::analysis::render_verdict(&verdict)
+        );
+        return if triage.is_clean() && verdict.is_ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+    eprintln!("unknown app; try `heaptherapy list`");
+    ExitCode::from(2)
+}
+
 fn cmd_instrument(args: &Args) -> ExitCode {
     let Some(app) = args.positional.get(1).and_then(|n| find_app(n)) else {
         eprintln!("unknown app; try `heaptherapy list`");
@@ -293,10 +328,11 @@ fn main() -> ExitCode {
         Some("protect") => cmd_protect(&args),
         Some("demo") => cmd_demo(&args),
         Some("decode") => cmd_decode(&args),
+        Some("lint") => cmd_lint(&args),
         Some("instrument") => cmd_instrument(&args),
         _ => {
             eprintln!(
-                "usage: heaptherapy <list|analyze|protect|demo|decode|instrument> [app] \
+                "usage: heaptherapy <list|analyze|protect|demo|decode|lint|instrument> [app] \
                  [--scheme pcc|positional|additive] [--strategy fcs|tcs|slim|incremental] \
                  [--out FILE] [--patches FILE] [--ccid HEX] [--fun NAME] [--attack N]"
             );

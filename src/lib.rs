@@ -24,8 +24,11 @@
 //!   actual process memory.
 //! * [`vulnapps`] — modeled vulnerable programs reproducing the paper's
 //!   Table II suite.
+//! * [`analysis`] — static vulnerability triage (interval-domain abstract
+//!   interpretation resolving candidates to `{FUN, CCID, T}`) and the
+//!   encoding-plan verifier.
 //! * [`core`] — the end-to-end pipeline: instrument → replay attack →
-//!   generate patches → run protected.
+//!   generate patches → run protected, plus the static `lint` pre-pass.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 //! ```
 
 pub use heaptherapy_core as core;
+pub use ht_analysis as analysis;
 pub use ht_callgraph as callgraph;
 pub use ht_defense as defense;
 pub use ht_encoding as encoding;

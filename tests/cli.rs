@@ -78,6 +78,56 @@ fn instrument_prints_strategy_ladder() {
 }
 
 #[test]
+fn lint_clean_spec_model_exits_zero() {
+    let out = bin().args(["lint", "429.mcf"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("static triage: clean"), "{stdout}");
+    assert!(stdout.contains("plan verifier: OK"), "{stdout}");
+}
+
+#[test]
+fn lint_vulnapp_exits_two_with_decoded_chains() {
+    let out = bin().args(["lint", "heartbleed"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "findings exit with 2: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("candidate context"), "{stdout}");
+    assert!(
+        stdout.contains("main → tls1_process_heartbeat"),
+        "decoded call chain: {stdout}"
+    );
+    assert!(stdout.contains("covered=true"), "{stdout}");
+    assert!(stdout.contains("plan verifier: OK"), "{stdout}");
+}
+
+#[test]
+fn lint_respects_strategy_and_scheme_flags() {
+    let out = bin()
+        .args([
+            "lint",
+            "bc-1.06",
+            "--strategy",
+            "tcs",
+            "--scheme",
+            "positional",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("more_arrays → malloc"), "{stdout}");
+    assert!(stdout.contains("0 uncovered"), "{stdout}");
+}
+
+#[test]
+fn lint_unknown_app_errors() {
+    let out = bin().args(["lint", "no-such-app"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown app"), "{stderr}");
+}
+
+#[test]
 fn unknown_app_and_usage_errors() {
     let (_, stderr, ok) = run(&["analyze", "no-such-app"]);
     assert!(!ok);

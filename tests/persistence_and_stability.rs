@@ -6,6 +6,7 @@ use heaptherapy_plus::callgraph::Strategy;
 use heaptherapy_plus::core::{HeapTherapy, PipelineConfig};
 use heaptherapy_plus::encoding::{InstrumentationPlan, Scheme};
 use heaptherapy_plus::simprog::spec::{build_spec_workload, spec_bench, spec_suite};
+use ht_jsonio::{FromJson, Json, ToJson};
 
 /// Rebuilding the same program and plan from scratch yields identical
 /// CCIDs — a patch generated yesterday still matches today's run.
@@ -36,13 +37,13 @@ fn ccids_survive_program_and_plan_rebuilds() {
 /// Plans serialize and deserialize without loss (the instrumented binary's
 /// encoding is effectively persisted state).
 #[test]
-fn plans_serde_round_trip() {
+fn plans_json_round_trip() {
     let w = build_spec_workload(spec_bench("403.gcc").unwrap());
     for scheme in Scheme::ALL {
         for strategy in Strategy::ALL {
             let plan = InstrumentationPlan::build(w.program.graph(), strategy, scheme);
-            let json = serde_json::to_string(&plan).unwrap();
-            let back: InstrumentationPlan = serde_json::from_str(&json).unwrap();
+            let json = plan.to_json().to_compact();
+            let back = InstrumentationPlan::from_json(&Json::parse(&json).unwrap()).unwrap();
             assert_eq!(plan, back, "{strategy}/{scheme}");
         }
     }
@@ -74,11 +75,12 @@ fn patches_survive_a_simulated_restart() {
     }
 }
 
-/// Serde round trip for the graph itself (tooling may persist call graphs).
+/// JSON round trip for the graph itself (tooling may persist call graphs).
 #[test]
-fn call_graphs_serde_round_trip() {
+fn call_graphs_json_round_trip() {
     let w = build_spec_workload(spec_bench("456.hmmer").unwrap());
-    let json = serde_json::to_string(w.program.graph()).unwrap();
-    let back: heaptherapy_plus::callgraph::CallGraph = serde_json::from_str(&json).unwrap();
+    let json = w.program.graph().to_json().to_compact();
+    let back =
+        heaptherapy_plus::callgraph::CallGraph::from_json(&Json::parse(&json).unwrap()).unwrap();
     assert_eq!(w.program.graph(), &back);
 }

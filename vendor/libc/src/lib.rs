@@ -1,0 +1,66 @@
+//! Minimal libc surface for this workspace, bound directly against the
+//! platform C library. Only the symbols the hardened allocator uses are
+//! declared; constants are the Linux values (the only supported target).
+#![allow(non_camel_case_types)]
+
+/// Opaque C `void`.
+pub type c_void = core::ffi::c_void;
+/// C `int`.
+pub type c_int = i32;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t` (Linux LP64).
+pub type off_t = i64;
+
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Pages may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Pages may not be accessed.
+pub const PROT_NONE: c_int = 0;
+/// Private copy-on-write mapping.
+pub const MAP_PRIVATE: c_int = 0x0002;
+/// Mapping is not backed by any file.
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+extern "C" {
+    /// Maps pages of memory.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmaps pages of memory.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// Changes page protections.
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_round_trip() {
+        unsafe {
+            let p = mmap(
+                core::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 0xAB;
+            assert_eq!(*(p as *mut u8), 0xAB);
+            assert_eq!(mprotect(p, 4096, PROT_NONE), 0);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! A minimal, dependency-free property-testing harness exposing the subset of
+//! the `proptest` crate API this workspace uses.
+//!
+//! Semantics: each `proptest!` test runs its body against `cases`
+//! deterministically generated inputs (seeded from the test name, so runs are
+//! reproducible). There is no shrinking; on failure the case index is printed
+//! so the failure can be re-derived.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Value-generation strategies for `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy for an arbitrary `bool` (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The conventional glob-import module.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 10u64..20) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..20).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn maps_apply(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in crate::collection::vec(prop_oneof![0u64..5, 100u64..105], 1..30),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            prop_assert!(v.iter().all(|&x| x < 5 || (100..105).contains(&x)));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("seeded", 7);
+        let mut b = crate::test_runner::TestRng::for_test("seeded", 7);
+        let s = (any::<u64>(), 1u16..2000);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
