@@ -9,7 +9,7 @@ use ht_simprog::spec::{build_spec_workload, spec_bench};
 
 fn bench_fig9(c: &mut Criterion) {
     // The actual figure: print once.
-    let rows = fig9::rows(2e-4);
+    let rows = fig9::rows(1, 2e-4);
     println!(
         "\nFig. 9 — memory overhead (RSS proxy), paper avg {:.1}%:",
         fig9::PAPER_AVG

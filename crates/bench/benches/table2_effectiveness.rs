@@ -7,7 +7,7 @@ use heaptherapy_core::{HeapTherapy, PipelineConfig};
 use ht_bench::table2;
 
 fn bench_table2(c: &mut Criterion) {
-    let rows = table2::rows();
+    let rows = table2::rows(1);
     println!("\nTable II — effectiveness:");
     for r in &rows {
         println!("  {}", r.table_row());

@@ -9,7 +9,7 @@ use ht_encoding::{InstrumentationPlan, Scheme};
 use ht_simprog::spec::{build_spec_workload, spec_bench};
 
 fn bench_table3(c: &mut Criterion) {
-    let rows = table3::rows();
+    let rows = table3::rows(1);
     println!("\nTable III — size increase % (measured | paper):");
     for r in &rows {
         println!(

@@ -11,7 +11,7 @@ use ht_simprog::spec::{build_spec_workload, spec_bench};
 
 fn bench_table4(c: &mut Criterion) {
     println!("\nTable IV — allocation statistics (paper | replayed at 1e-4 scale):");
-    for r in table4::rows(1e-4) {
+    for r in table4::rows(1, 1e-4) {
         println!(
             "  {:<16} {:>11} {:>9} {:>10} | {:>8} {:>6} {:>6}",
             r.bench,

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the HeapTherapy+ evaluation.
 //!
 //! ```text
-//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations]
-//!           [--allocs N] [--samples N] [--requests N]
+//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations|scaling]
+//!           [--allocs N] [--samples N] [--requests N] [--threads N]
+//!           [--pairs N] [--json PATH]
 //! ```
 //!
 //! Paper-reported numbers are printed beside the measured ones. Absolute
@@ -10,7 +11,7 @@
 //! with `--release` for meaningful timings.
 
 use ht_bench::{
-    ablation, encoding, fig2, fig8, fig9, lint, services, table1, table2, table3, table4,
+    ablation, encoding, fig2, fig8, fig9, lint, scaling, services, table1, table2, table3, table4,
 };
 
 struct Opts {
@@ -19,6 +20,12 @@ struct Opts {
     fraction: f64,
     samples: usize,
     requests: u64,
+    /// Worker threads for the offline pipeline (and the cap for `scaling`).
+    threads: usize,
+    /// Allocate/free pairs per worker in the scaling benchmark.
+    pairs: u64,
+    /// Optional path to write the scaling rows as JSON.
+    json: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -28,6 +35,9 @@ fn parse_args() -> Opts {
         fraction: 2e-4,
         samples: 5,
         requests: 2_000,
+        threads: ht_par::available_threads(),
+        pairs: 200_000,
+        json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,6 +50,15 @@ fn parse_args() -> Opts {
             "--requests" => {
                 opts.requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(2_000)
             }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(1)
+            }
+            "--pairs" => opts.pairs = args.next().and_then(|v| v.parse().ok()).unwrap_or(200_000),
+            "--json" => opts.json = args.next(),
             other if !other.starts_with("--") => opts.what = other.to_string(),
             other => eprintln!("ignoring unknown flag {other}"),
         }
@@ -77,9 +96,9 @@ fn run_table1() {
     }
 }
 
-fn run_table2() {
+fn run_table2(opts: &Opts) {
     header("Table II — effectiveness (7 CVE models + 23 SAMATE cases)");
-    let rows = table2::rows();
+    let rows = table2::rows(opts.threads);
     for r in &rows {
         println!("{}", r.table_row());
     }
@@ -87,9 +106,9 @@ fn run_table2() {
     println!("(paper: patches generated and attacks prevented for all programs)");
 }
 
-fn run_lint() {
+fn run_lint(opts: &Opts) {
     header("Static triage — static-vs-dynamic agreement per vulnerable program");
-    let rows = lint::rows();
+    let rows = lint::rows(opts.threads);
     for r in &rows {
         println!("{}", r.table_row());
     }
@@ -97,13 +116,13 @@ fn run_lint() {
     println!("(static candidates must cover every dynamically generated patch)");
 }
 
-fn run_table3() {
+fn run_table3(opts: &Opts) {
     header("Table III — program size increase (%) per encoding strategy");
     println!(
         "{:<16} {:>22}  {:>30}",
         "benchmark", "measured FCS/TCS/Slim/Inc", "paper FCS/TCS/Slim/Inc"
     );
-    let rows = table3::rows();
+    let rows = table3::rows(opts.threads);
     for r in &rows {
         println!(
             "{:<16} {:>5.1} {:>5.1} {:>5.1} {:>5.1}   {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
@@ -131,7 +150,7 @@ fn run_table4(opts: &Opts) {
         "{:<16} {:>36} {:>30}",
         "benchmark", "paper malloc/calloc/realloc", "replayed malloc/calloc/realloc"
     );
-    for r in table4::rows(opts.fraction) {
+    for r in table4::rows(opts.threads, opts.fraction) {
         println!(
             "{:<16} {:>14} {:>10} {:>10} {:>12} {:>8} {:>8}",
             r.bench,
@@ -183,7 +202,7 @@ fn run_fig8(opts: &Opts) {
         "{:<16} {:>10} {:>10} {:>10} {:>10}   {:>6} {:>6} {:>7}",
         "benchmark", "interpose", "0 patches", "1 patch", "5 patches", "hits1", "hits5", "guards5"
     );
-    let rows = fig8::rows(opts.fraction, opts.samples);
+    let rows = fig8::rows(opts.threads, opts.fraction, opts.samples);
     for r in &rows {
         println!(
             "{:<16} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%   {:>6} {:>6} {:>7}",
@@ -207,7 +226,7 @@ fn run_fig9(opts: &Opts) {
         "{:<16} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "benchmark", "native", "defended", "defended+5p", "mapped", "overhead"
     );
-    let rows = fig9::rows(opts.fraction);
+    let rows = fig9::rows(opts.threads, opts.fraction);
     for r in &rows {
         println!(
             "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8.1}%",
@@ -285,6 +304,36 @@ fn run_ablations(opts: &Opts) {
     );
 }
 
+fn run_scaling(opts: &Opts) {
+    header("Scaling — multi-threaded allocation throughput (Mops/s, alloc+free pairs)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>16}",
+        "threads", "native", "interpose", "hardened(5p)", "hardened/native"
+    );
+    let rows = scaling::rows(opts.threads, opts.pairs);
+    for r in &rows {
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>14.3} {:>15.2}x",
+            r.threads,
+            r.native_ops / 1e6,
+            r.interpose_ops / 1e6,
+            r.hardened_ops / 1e6,
+            r.hardened_vs_native()
+        );
+    }
+    println!(
+        "(patched context every {} allocs of {} B; registry/quarantine sharded, patch table frozen)",
+        scaling::PATCHED_EVERY,
+        scaling::ALLOC_SIZE
+    );
+    if let Some(path) = &opts.json {
+        let j = scaling::to_json(&rows, opts.pairs);
+        std::fs::write(path, j.to_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn run_extras() {
     use heaptherapy_core::{incident_report, HeapTherapy, PipelineConfig};
     use ht_callgraph::Strategy;
@@ -339,23 +388,24 @@ fn main() {
     match opts.what.as_str() {
         "fig2" => run_fig2(),
         "table1" => run_table1(),
-        "table2" => run_table2(),
-        "lint" => run_lint(),
-        "table3" => run_table3(),
+        "table2" => run_table2(&opts),
+        "lint" => run_lint(&opts),
+        "table3" => run_table3(&opts),
         "table4" => run_table4(&opts),
         "encoding" => run_encoding(&opts),
         "fig8" => run_fig8(&opts),
         "fig9" => run_fig9(&opts),
         "services" => run_services(&opts),
         "ablations" => run_ablations(&opts),
+        "scaling" => run_scaling(&opts),
         "extras" => run_extras(),
         "all" => {
             run_fig2();
             run_extras_silently_ok();
             run_table1();
-            run_table2();
-            run_lint();
-            run_table3();
+            run_table2(&opts);
+            run_lint(&opts);
+            run_table3(&opts);
             run_table4(&opts);
             run_encoding(&opts);
             run_fig8(&opts);
@@ -366,7 +416,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown target `{other}`; expected one of all, fig2, table1, table2, \
-                 table3, table4, encoding, fig8, fig9, services, ablations, lint"
+                 table3, table4, encoding, fig8, fig9, services, ablations, lint, scaling"
             );
             std::process::exit(2);
         }

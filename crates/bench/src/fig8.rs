@@ -26,7 +26,7 @@ pub struct Fig8Row {
     pub guard_pages5: u64,
 }
 
-/// Regenerates Fig. 8.
+/// Regenerates Fig. 8, `threads` benchmarks at a time.
 ///
 /// Each benchmark replays `fraction` of its Table IV allocation volume (the
 /// paper runs each benchmark's natural workload — allocation-poor
@@ -34,52 +34,54 @@ pub struct Fig8Row {
 /// wall time is the median of `samples` runs. Patch selection follows the
 /// paper: the median-frequency allocation contexts, patched as
 /// overflow-vulnerable.
-pub fn rows(fraction: f64, samples: usize) -> Vec<Fig8Row> {
+///
+/// The five timing series of one benchmark always run back-to-back on one
+/// thread, so within-benchmark comparisons (the overhead percentages) stay
+/// honest; use `threads = 1` when absolute wall times matter, since
+/// co-running benchmarks contend for cores.
+pub fn rows(threads: usize, fraction: f64, samples: usize) -> Vec<Fig8Row> {
     let ht = HeapTherapy::new(PipelineConfig::default());
-    spec_suite()
-        .into_iter()
-        .map(|bench| {
-            let w = build_spec_workload(bench);
-            let ip = ht.instrument(&w.program);
-            let mut input = w.input_for_fraction(fraction);
-            // Floor the run length so wall-clock medians are not dominated
-            // by microsecond-scale noise on allocation-poor benchmarks.
-            input[0] = input[0].max(200);
-            let p1 = ht.hypothesized_patches(&ip, &input, 1);
-            let p5 = ht.hypothesized_patches(&ip, &input, 5);
+    ht_par::par_map(threads, &spec_suite(), |_, &bench| {
+        let w = build_spec_workload(bench);
+        let ip = ht.instrument(&w.program);
+        let mut input = w.input_for_fraction(fraction);
+        // Floor the run length so wall-clock medians are not dominated
+        // by microsecond-scale noise on allocation-poor benchmarks.
+        input[0] = input[0].max(200);
+        let p1 = ht.hypothesized_patches(&ip, &input, 1);
+        let p5 = ht.hypothesized_patches(&ip, &input, 5);
 
-            let t_native = time_median(samples, || {
-                ht.run_native(&ip, &input);
-            });
-            let t_interpose = time_median(samples, || {
-                ht.run_interposed(&ip, &input);
-            });
-            let t_p0 = time_median(samples, || {
-                ht.run_protected(&ip, &input, &[]);
-            });
-            let t_p1 = time_median(samples, || {
-                ht.run_protected(&ip, &input, &p1);
-            });
-            let t_p5 = time_median(samples, || {
-                ht.run_protected(&ip, &input, &p5);
-            });
+        let t_native = time_median(samples, || {
+            ht.run_native(&ip, &input);
+        });
+        let t_interpose = time_median(samples, || {
+            ht.run_interposed(&ip, &input);
+        });
+        let t_p0 = time_median(samples, || {
+            ht.run_protected(&ip, &input, &[]);
+        });
+        let t_p1 = time_median(samples, || {
+            ht.run_protected(&ip, &input, &p1);
+        });
+        let t_p5 = time_median(samples, || {
+            ht.run_protected(&ip, &input, &p5);
+        });
 
-            let r1 = ht.run_protected(&ip, &input, &p1);
-            let r5 = ht.run_protected(&ip, &input, &p5);
+        let r1 = ht.run_protected(&ip, &input, &p1);
+        let r5 = ht.run_protected(&ip, &input, &p5);
 
-            Fig8Row {
-                bench: bench.name,
-                pct: [
-                    overhead_pct(t_native, t_interpose),
-                    overhead_pct(t_native, t_p0),
-                    overhead_pct(t_native, t_p1),
-                    overhead_pct(t_native, t_p5),
-                ],
-                hits: [r1.stats.table_hits, r5.stats.table_hits],
-                guard_pages5: r5.stats.guard_pages,
-            }
-        })
-        .collect()
+        Fig8Row {
+            bench: bench.name,
+            pct: [
+                overhead_pct(t_native, t_interpose),
+                overhead_pct(t_native, t_p0),
+                overhead_pct(t_native, t_p1),
+                overhead_pct(t_native, t_p5),
+            ],
+            hits: [r1.stats.table_hits, r5.stats.table_hits],
+            guard_pages5: r5.stats.guard_pages,
+        }
+    })
 }
 
 /// Column averages of the overhead percentages.
@@ -106,7 +108,7 @@ mod tests {
         // structural half of Fig. 8: patches land on live contexts, guard
         // pages go up, and the runs complete. Only allocation-rich models
         // are asserted (bzip2 at natural volume allocates a handful).
-        let rows = rows(2e-6, 1);
+        let rows = rows(2, 2e-6, 1);
         assert_eq!(rows.len(), 12);
         for r in rows
             .iter()

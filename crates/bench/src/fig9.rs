@@ -33,51 +33,49 @@ pub struct Fig9Row {
     pub pct: f64,
 }
 
-/// Regenerates Fig. 9 at `fraction` of each benchmark's natural volume.
-pub fn rows(fraction: f64) -> Vec<Fig9Row> {
+/// Regenerates Fig. 9 at `fraction` of each benchmark's natural volume,
+/// `threads` benchmarks at a time (memory measurements are deterministic,
+/// so parallelism cannot change the rows).
+pub fn rows(threads: usize, fraction: f64) -> Vec<Fig9Row> {
     let ht = HeapTherapy::new(PipelineConfig::default());
-    spec_suite()
-        .into_iter()
-        .map(|bench| {
-            let w = build_spec_workload(bench);
-            let ip = ht.instrument(&w.program);
-            // Natural volume — no iteration floor: memory is deterministic,
-            // and flooring would force allocation-poor benchmarks into an
-            // unrealistic guarded-churn profile.
-            let input = w.input_for_fraction(fraction);
+    ht_par::par_map(threads, &spec_suite(), |_, &bench| {
+        let w = build_spec_workload(bench);
+        let ip = ht.instrument(&w.program);
+        // Natural volume — no iteration floor: memory is deterministic,
+        // and flooring would force allocation-poor benchmarks into an
+        // unrealistic guarded-churn profile.
+        let input = w.input_for_fraction(fraction);
 
-            let native_rss = {
-                let backend = ht_simprog::PlainBackend::new();
-                let mut interp = Interpreter::new(&w.program, &ip.plan, backend);
-                interp.run(&input);
-                interp.backend().mem_stats().unwrap().0.peak_rss_bytes
-            };
+        let native_rss = {
+            let backend = ht_simprog::PlainBackend::new();
+            let mut interp = Interpreter::new(&w.program, &ip.plan, backend);
+            interp.run(&input);
+            interp.backend().mem_stats().unwrap().0.peak_rss_bytes
+        };
 
-            let measure = |patches: Vec<ht_patch::Patch>| {
-                let mut cfg = ht_defense::DefenseConfig::with_table(
-                    ht_patch::PatchTable::from_patches(patches),
-                );
-                cfg.quarantine_quota = 2 << 30;
-                let backend = ht_defense::DefendedBackend::new(cfg);
-                let mut interp = Interpreter::new(&w.program, &ip.plan, backend);
-                interp.run(&input);
-                let stats = interp.backend().mem_stats().unwrap().0;
-                (stats.peak_rss_bytes, stats.mapped_bytes)
-            };
-            let (defended_rss, _) = measure(Vec::new());
-            let patches = ht.hypothesized_patches(&ip, &input, 5);
-            let (defended5_rss, defended_mapped) = measure(patches);
+        let measure = |patches: Vec<ht_patch::Patch>| {
+            let mut cfg =
+                ht_defense::DefenseConfig::with_table(ht_patch::PatchTable::from_patches(patches));
+            cfg.quarantine_quota = 2 << 30;
+            let backend = ht_defense::DefendedBackend::new(cfg);
+            let mut interp = Interpreter::new(&w.program, &ip.plan, backend);
+            interp.run(&input);
+            let stats = interp.backend().mem_stats().unwrap().0;
+            (stats.peak_rss_bytes, stats.mapped_bytes)
+        };
+        let (defended_rss, _) = measure(Vec::new());
+        let patches = ht.hypothesized_patches(&ip, &input, 5);
+        let (defended5_rss, defended_mapped) = measure(patches);
 
-            Fig9Row {
-                bench: bench.name,
-                native_rss,
-                defended_rss,
-                defended5_rss,
-                defended_mapped,
-                pct: crate::overhead_pct(native_rss as f64, defended_rss as f64),
-            }
-        })
-        .collect()
+        Fig9Row {
+            bench: bench.name,
+            native_rss,
+            defended_rss,
+            defended5_rss,
+            defended_mapped,
+            pct: crate::overhead_pct(native_rss as f64, defended_rss as f64),
+        }
+    })
 }
 
 /// Average RSS overhead percent.
@@ -91,7 +89,7 @@ mod tests {
 
     #[test]
     fn memory_overhead_is_modest_and_guard_pages_stay_virtual() {
-        let rows = rows(2e-6);
+        let rows = rows(2, 2e-6);
         assert_eq!(rows.len(), 12);
         for r in &rows {
             assert!(r.native_rss > 0, "{}", r.bench);

@@ -20,6 +20,7 @@
 //! | [`services`] | §VIII-B2 — Nginx/MySQL throughput |
 //! | [`ablation`] | design-choice ablations (stack walking, guard-all, quota, lookup) |
 //! | [`lint`] | static triage — static-vs-dynamic agreement on the Table II suite |
+//! | [`scaling`] | multi-threaded allocation-throughput scaling (not in the paper) |
 
 pub mod ablation;
 pub mod encoding;
@@ -27,6 +28,7 @@ pub mod fig2;
 pub mod fig8;
 pub mod fig9;
 pub mod lint;
+pub mod scaling;
 pub mod services;
 pub mod table1;
 pub mod table2;
@@ -36,7 +38,12 @@ pub mod table4;
 use std::time::Instant;
 
 /// Median-of-`n` wall-time measurement of `f`, in seconds.
+///
+/// Runs one untimed warm-up iteration first so cold-start effects (page
+/// faults, lazy allocations, branch-predictor training) land outside the
+/// measured samples.
 pub fn time_median<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    f();
     let mut samples: Vec<f64> = (0..n.max(1))
         .map(|_| {
             let t0 = Instant::now();

@@ -43,13 +43,13 @@ impl LintRow {
     }
 }
 
-/// Lints the whole Table II suite under the default pipeline.
-pub fn rows() -> Vec<LintRow> {
+/// Lints the whole Table II suite under the default pipeline, `threads`
+/// apps at a time (each lint is independent; row order is deterministic).
+pub fn rows(threads: usize) -> Vec<LintRow> {
     let ht = HeapTherapy::new(PipelineConfig::default());
-    ht_vulnapps::table2_suite()
-        .iter()
-        .map(|app| LintRow::from_report(&ht.lint(app)))
-        .collect()
+    ht_par::par_map(threads, &ht_vulnapps::table2_suite(), |_, app| {
+        LintRow::from_report(&ht.lint(app))
+    })
 }
 
 /// One-line verdict over all rows.
@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn every_row_agrees() {
-        let rows = rows();
+        let rows = rows(2);
         assert_eq!(rows.len(), 30);
         for r in &rows {
             assert!(r.covered, "{}", r.app);

@@ -3,16 +3,15 @@
 use heaptherapy_core::{CycleReport, HeapTherapy, PipelineConfig};
 
 /// Runs the full patch-generation/deployment cycle on every Table II model
-/// (7 CVE programs + 23 SAMATE cases).
-pub fn rows() -> Vec<CycleReport> {
+/// (7 CVE programs + 23 SAMATE cases), `threads` apps at a time. Every app's
+/// cycle is independent, so the row order (and content) is identical at any
+/// thread count.
+pub fn rows(threads: usize) -> Vec<CycleReport> {
     let ht = HeapTherapy::new(PipelineConfig::default());
-    ht_vulnapps::table2_suite()
-        .iter()
-        .map(|app| {
-            ht.full_cycle(app)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name))
-        })
-        .collect()
+    ht_par::par_map(threads, &ht_vulnapps::table2_suite(), |_, app| {
+        ht.full_cycle(app)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name))
+    })
 }
 
 /// A one-line verdict over all rows (printed by `reproduce`).
@@ -38,7 +37,7 @@ mod tests {
 
     #[test]
     fn every_row_reproduces_the_paper_verdict() {
-        let rows = rows();
+        let rows = rows(2);
         assert_eq!(rows.len(), 30);
         for r in &rows {
             assert!(r.undefended_attack_succeeded, "{}", r.app);

@@ -40,33 +40,31 @@ pub struct Table3Row {
     pub paper: [f64; 4],
 }
 
-/// Regenerates Table III over the 12 SPEC models.
-pub fn rows() -> Vec<Table3Row> {
-    spec_suite()
-        .into_iter()
-        .map(|bench| {
-            let w = build_spec_workload(bench);
-            let base = w.program.base_size_bytes();
-            let mut measured = [0.0f64; 4];
-            let mut sites = [0usize; 4];
-            for (i, &s) in Strategy::ALL.iter().enumerate() {
-                let plan = InstrumentationPlan::build(w.program.graph(), s, Scheme::Pcc);
-                measured[i] = plan.size_increase_percent(base);
-                sites[i] = plan.site_count();
-            }
-            let paper = PAPER
-                .iter()
-                .find(|(n, _)| *n == bench.name)
-                .map(|(_, p)| *p)
-                .unwrap_or_default();
-            Table3Row {
-                bench: bench.name,
-                measured,
-                sites,
-                paper,
-            }
-        })
-        .collect()
+/// Regenerates Table III over the 12 SPEC models, `threads` benchmarks at
+/// a time (plan building is pure; row order is deterministic).
+pub fn rows(threads: usize) -> Vec<Table3Row> {
+    ht_par::par_map(threads, &spec_suite(), |_, &bench| {
+        let w = build_spec_workload(bench);
+        let base = w.program.base_size_bytes();
+        let mut measured = [0.0f64; 4];
+        let mut sites = [0usize; 4];
+        for (i, &s) in Strategy::ALL.iter().enumerate() {
+            let plan = InstrumentationPlan::build(w.program.graph(), s, Scheme::Pcc);
+            measured[i] = plan.size_increase_percent(base);
+            sites[i] = plan.site_count();
+        }
+        let paper = PAPER
+            .iter()
+            .find(|(n, _)| *n == bench.name)
+            .map(|(_, p)| *p)
+            .unwrap_or_default();
+        Table3Row {
+            bench: bench.name,
+            measured,
+            sites,
+            paper,
+        }
+    })
 }
 
 /// Column averages of the measured percentages.
@@ -89,7 +87,7 @@ mod tests {
 
     #[test]
     fn shape_matches_paper() {
-        let rows = rows();
+        let rows = rows(2);
         assert_eq!(rows.len(), 12);
         for r in &rows {
             // Monotone shrink per benchmark.

@@ -20,22 +20,21 @@ pub struct Table4Row {
     pub replayed: [u64; 3],
 }
 
-/// Replays each benchmark at `fraction` of its Table IV volume.
-pub fn rows(fraction: f64) -> Vec<Table4Row> {
-    spec_suite()
-        .into_iter()
-        .map(|bench| {
-            let w = build_spec_workload(bench);
-            let plan =
-                InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
-            let rep = run_plain(&w.program, &plan, &w.input_for_fraction(fraction));
-            Table4Row {
-                bench: bench.name,
-                paper: [bench.mallocs, bench.callocs, bench.reallocs],
-                replayed: [rep.allocs.malloc, rep.allocs.calloc, rep.allocs.realloc],
-            }
-        })
-        .collect()
+/// Replays each benchmark at `fraction` of its Table IV volume, `threads`
+/// benchmarks at a time (replays are independent; row order is
+/// deterministic).
+pub fn rows(threads: usize, fraction: f64) -> Vec<Table4Row> {
+    ht_par::par_map(threads, &spec_suite(), |_, &bench| {
+        let w = build_spec_workload(bench);
+        let plan =
+            InstrumentationPlan::build(w.program.graph(), Strategy::Incremental, Scheme::Pcc);
+        let rep = run_plain(&w.program, &plan, &w.input_for_fraction(fraction));
+        Table4Row {
+            bench: bench.name,
+            paper: [bench.mallocs, bench.callocs, bench.reallocs],
+            replayed: [rep.allocs.malloc, rep.allocs.calloc, rep.allocs.realloc],
+        }
+    })
 }
 
 #[cfg(test)]
@@ -44,7 +43,7 @@ mod tests {
 
     #[test]
     fn api_mix_tracks_the_paper() {
-        for r in rows(2e-6) {
+        for r in rows(2, 2e-6) {
             // Whichever API dominates in the paper dominates in the replay.
             let paper_max = (0..3).max_by_key(|&i| r.paper[i]).unwrap();
             let replay_max = (0..3).max_by_key(|&i| r.replayed[i]).unwrap();

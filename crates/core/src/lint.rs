@@ -105,12 +105,13 @@ impl HeapTherapy {
         for input in &app.attack_inputs {
             all.extend(self.analyze_attack(&ip, input, &app.reference).patches);
         }
+        // PatchTable::iter is sorted by (FUN, CCID) — lint output stays
+        // byte-identical across runs without a local sort.
         let table = PatchTable::from_patches(all);
-        let mut dynamic_patches: Vec<Patch> = table
+        let dynamic_patches: Vec<Patch> = table
             .iter()
             .map(|(fun, ccid, vuln)| Patch::new(fun, ccid, vuln).with_origin(&app.reference))
             .collect();
-        dynamic_patches.sort_by_key(|p| (p.alloc_fn, p.ccid));
 
         let uncovered: Vec<Patch> = dynamic_patches
             .iter()

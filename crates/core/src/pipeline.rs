@@ -253,12 +253,13 @@ impl HeapTherapy {
             merged.extend(shadow.generate_patches(origin));
         }
         // Merge duplicate keys (overflow/UR warnings repeat every replay).
+        // PatchTable::iter is sorted by (FUN, CCID), so the report order is
+        // deterministic across runs.
         let table = PatchTable::from_patches(merged);
-        let mut patches: Vec<Patch> = table
+        let patches: Vec<Patch> = table
             .iter()
             .map(|(fun, ccid, vuln)| Patch::new(fun, ccid, vuln).with_origin(origin))
             .collect();
-        patches.sort_by_key(|p| (p.alloc_fn, p.ccid));
         AnalysisReport {
             warnings,
             patches,

@@ -1,10 +1,10 @@
 //! The hardened global allocator.
 
 use crate::ccid;
-use crate::registry::{Entry, QuarantineRing, Registry};
+use crate::registry::{Entry, QuarantineRing, Registry, RegistryStats, StripedCounter};
 use ht_patch::{AllocFn, Patch, VulnFlags};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// One installed patch, allocation-free representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,33 +53,48 @@ pub struct HardenedStats {
 
 const PATCH_SLOTS: usize = 512;
 
-#[derive(Debug, Clone, Copy)]
+/// One published patch slot. `meta` packs `READY | fun << FUN_SHIFT | vuln`;
+/// `ccid` holds the key's context ID.
 struct PatchSlot {
-    used: bool,
-    fun: AllocFn,
-    ccid: u64,
-    vuln: VulnFlags,
+    meta: AtomicU64,
+    ccid: AtomicU64,
 }
 
+const READY: u64 = 1 << 63;
+const FUN_SHIFT: u32 = 32;
+
+#[allow(clippy::declare_interior_mutable_const)] // used once per array slot
 const EMPTY_SLOT: PatchSlot = PatchSlot {
-    used: false,
-    fun: AllocFn::Malloc,
-    ccid: 0,
-    vuln: VulnFlags::NONE,
+    meta: AtomicU64::new(0),
+    ccid: AtomicU64::new(0),
 };
 
+/// The online patch table: a fixed open-addressing probe whose **lookups
+/// take no lock and touch no shared mutable state** — the hot path's common
+/// case (table miss) is one Acquire load per probed slot.
+///
+/// Writes (rare: patch installation at startup) serialize on a spin lock
+/// and publish each slot by storing `ccid` first, then the `meta` word with
+/// `READY` set (Release). A reader that observes `READY` (Acquire)
+/// therefore sees the matching `ccid`. Keys are never deleted, so probe
+/// sequences are stable forever; merged vulnerability bits only ever grow
+/// (`fetch_or`), so a racing reader sees a valid past or present value.
+///
+/// [`PatchSet::freeze`] seals the table against further installs — the
+/// moral equivalent of the paper `mprotect`-ing its table read-only after
+/// the configuration file is loaded.
 struct PatchSet {
     lock: crate::registry::SpinLock,
-    slots: std::cell::UnsafeCell<[PatchSlot; PATCH_SLOTS]>,
+    frozen: AtomicBool,
+    slots: [PatchSlot; PATCH_SLOTS],
 }
-
-unsafe impl Sync for PatchSet {}
 
 impl PatchSet {
     const fn new() -> Self {
         Self {
             lock: crate::registry::SpinLock::new(),
-            slots: std::cell::UnsafeCell::new([EMPTY_SLOT; PATCH_SLOTS]),
+            frozen: AtomicBool::new(false),
+            slots: [EMPTY_SLOT; PATCH_SLOTS],
         }
     }
 
@@ -88,41 +103,60 @@ impl PatchSet {
         (key.wrapping_mul(0x9E3779B97F4A7C15) >> (64 - 9)) as usize // log2(512)
     }
 
-    /// Returns whether the entry fit.
+    fn freeze(&self) {
+        self.frozen.store(true, Ordering::Release);
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// Returns whether the entry fit (false: table full or frozen).
     fn insert(&self, e: PatchEntry) -> bool {
         let _g = self.lock.lock();
-        let slots = unsafe { &mut *self.slots.get() };
+        if self.is_frozen() {
+            return false;
+        }
         let start = Self::slot_of(e.fun, e.ccid);
         for i in 0..PATCH_SLOTS {
             let s = (start + i) % PATCH_SLOTS;
-            if slots[s].used && slots[s].fun == e.fun && slots[s].ccid == e.ccid {
-                slots[s].vuln |= e.vuln;
+            let slot = &self.slots[s];
+            // The lock holder is the only writer, so Relaxed reads suffice
+            // here; publication to readers happens via the Release below.
+            let meta = slot.meta.load(Ordering::Relaxed);
+            if meta & READY == 0 {
+                slot.ccid.store(e.ccid, Ordering::Relaxed);
+                slot.meta.store(
+                    READY | ((e.fun as u64) << FUN_SHIFT) | u64::from(e.vuln.bits()),
+                    Ordering::Release,
+                );
                 return true;
             }
-            if !slots[s].used {
-                slots[s] = PatchSlot {
-                    used: true,
-                    fun: e.fun,
-                    ccid: e.ccid,
-                    vuln: e.vuln,
-                };
+            if (meta >> FUN_SHIFT) & 0xFF == e.fun as u64
+                && slot.ccid.load(Ordering::Relaxed) == e.ccid
+            {
+                slot.meta
+                    .fetch_or(u64::from(e.vuln.bits()), Ordering::Release);
                 return true;
             }
         }
         false
     }
 
+    /// Lock-free probe (see the type-level comment for the protocol).
+    #[inline]
     fn lookup(&self, fun: AllocFn, ccid: u64) -> VulnFlags {
-        let _g = self.lock.lock();
-        let slots = unsafe { &*self.slots.get() };
         let start = Self::slot_of(fun, ccid);
         for i in 0..PATCH_SLOTS {
             let s = (start + i) % PATCH_SLOTS;
-            if !slots[s].used {
+            let slot = &self.slots[s];
+            let meta = slot.meta.load(Ordering::Acquire);
+            if meta & READY == 0 {
                 return VulnFlags::NONE;
             }
-            if slots[s].fun == fun && slots[s].ccid == ccid {
-                return slots[s].vuln;
+            if (meta >> FUN_SHIFT) & 0xFF == fun as u64 && slot.ccid.load(Ordering::Relaxed) == ccid
+            {
+                return VulnFlags::from_bits_truncate(meta as u8);
             }
         }
         VulnFlags::NONE
@@ -147,14 +181,14 @@ pub struct HardenedAlloc {
     registry: Registry,
     quarantine: QuarantineRing,
     quota: AtomicUsize,
-    interposed_allocs: AtomicU64,
-    interposed_frees: AtomicU64,
-    table_hits: AtomicU64,
-    guard_pages: AtomicU64,
-    zero_fills: AtomicU64,
-    quarantined: AtomicU64,
-    evictions: AtomicU64,
-    fail_open: AtomicU64,
+    interposed_allocs: StripedCounter,
+    interposed_frees: StripedCounter,
+    table_hits: StripedCounter,
+    guard_pages: StripedCounter,
+    zero_fills: StripedCounter,
+    quarantined: StripedCounter,
+    evictions: StripedCounter,
+    fail_open: StripedCounter,
 }
 
 impl std::fmt::Debug for PatchSet {
@@ -178,31 +212,54 @@ impl HardenedAlloc {
             registry: Registry::new(),
             quarantine: QuarantineRing::new(),
             quota: AtomicUsize::new(64 * 1024 * 1024),
-            interposed_allocs: AtomicU64::new(0),
-            interposed_frees: AtomicU64::new(0),
-            table_hits: AtomicU64::new(0),
-            guard_pages: AtomicU64::new(0),
-            zero_fills: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            fail_open: AtomicU64::new(0),
+            interposed_allocs: StripedCounter::new(),
+            interposed_frees: StripedCounter::new(),
+            table_hits: StripedCounter::new(),
+            guard_pages: StripedCounter::new(),
+            zero_fills: StripedCounter::new(),
+            quarantined: StripedCounter::new(),
+            evictions: StripedCounter::new(),
+            fail_open: StripedCounter::new(),
         }
     }
 
     /// Installs patches (idempotent per `(FUN, CCID)`; bits merge).
     ///
-    /// Returns how many entries were accepted (the fixed table holds 512).
+    /// Returns how many entries were accepted (the fixed table holds 512;
+    /// a [frozen](Self::freeze) table accepts none).
     pub fn install(&self, patches: &[PatchEntry]) -> usize {
+        if self.patches.is_frozen() {
+            return 0;
+        }
         patches
             .iter()
             .filter(|&&p| {
                 let ok = self.patches.insert(p);
                 if !ok {
-                    self.fail_open.fetch_add(1, Ordering::Relaxed);
+                    self.fail_open.incr();
                 }
                 ok
             })
             .count()
+    }
+
+    /// Seals the patch table: further [`Self::install`] calls accept
+    /// nothing. The paper `mprotect`s its table read-only once the
+    /// configuration file is loaded; this is the same promise — after
+    /// `freeze`, the table is immutable and every lookup is a pure read.
+    pub fn freeze(&self) {
+        self.patches.freeze();
+    }
+
+    /// Whether [`Self::freeze`] has been called.
+    pub fn is_frozen(&self) -> bool {
+        self.patches.is_frozen()
+    }
+
+    /// Live-pointer registry counters, merged across shards. Conservation
+    /// invariant: `inserts == removes + live()` at any quiescent point.
+    pub fn registry_stats(&self) -> RegistryStats {
+        self.registry.stats()
     }
 
     /// Installs patches from a configuration file in the standard text
@@ -228,14 +285,14 @@ impl HardenedAlloc {
     /// Counter snapshot.
     pub fn stats(&self) -> HardenedStats {
         HardenedStats {
-            interposed_allocs: self.interposed_allocs.load(Ordering::Relaxed),
-            interposed_frees: self.interposed_frees.load(Ordering::Relaxed),
-            table_hits: self.table_hits.load(Ordering::Relaxed),
-            guard_pages: self.guard_pages.load(Ordering::Relaxed),
-            zero_fills: self.zero_fills.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            fail_open: self.fail_open.load(Ordering::Relaxed),
+            interposed_allocs: self.interposed_allocs.load(),
+            interposed_frees: self.interposed_frees.load(),
+            table_hits: self.table_hits.load(),
+            guard_pages: self.guard_pages.load(),
+            zero_fills: self.zero_fills.load(),
+            quarantined: self.quarantined.load(),
+            evictions: self.evictions.load(),
+            fail_open: self.fail_open.load(),
         }
     }
 
@@ -296,23 +353,23 @@ impl HardenedAlloc {
             // Fail open: no room to remember the region; fall back to the
             // system allocator so dealloc stays correct.
             libc::munmap(region as *mut libc::c_void, total);
-            self.fail_open.fetch_add(1, Ordering::Relaxed);
+            self.fail_open.incr();
             return System.alloc(layout);
         }
-        self.guard_pages.fetch_add(1, Ordering::Relaxed);
+        self.guard_pages.incr();
         user as *mut u8
     }
 
     unsafe fn alloc_with(&self, fun: AllocFn, layout: Layout, zeroed: bool) -> *mut u8 {
-        self.interposed_allocs.fetch_add(1, Ordering::Relaxed);
+        self.interposed_allocs.incr();
         let vuln = self.patches.lookup(fun, ccid::current());
         if !vuln.is_empty() {
-            self.table_hits.fetch_add(1, Ordering::Relaxed);
+            self.table_hits.incr();
         }
         if vuln.contains(VulnFlags::OVERFLOW) {
             // mmap memory is already zeroed, which also covers UR.
             if vuln.contains(VulnFlags::UNINIT_READ) {
-                self.zero_fills.fetch_add(1, Ordering::Relaxed);
+                self.zero_fills.incr();
             }
             return self.guarded_alloc(layout, vuln);
         }
@@ -326,7 +383,7 @@ impl HardenedAlloc {
         }
         if vuln.contains(VulnFlags::UNINIT_READ) && !zeroed {
             std::ptr::write_bytes(p, 0, layout.size());
-            self.zero_fills.fetch_add(1, Ordering::Relaxed);
+            self.zero_fills.incr();
         }
         if vuln.contains(VulnFlags::USE_AFTER_FREE) {
             let entry = Entry {
@@ -338,7 +395,7 @@ impl HardenedAlloc {
                 align: layout.align(),
             };
             if !self.registry.insert(entry) {
-                self.fail_open.fetch_add(1, Ordering::Relaxed);
+                self.fail_open.incr();
             }
         }
         p
@@ -364,15 +421,15 @@ unsafe impl GlobalAlloc for HardenedAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        self.interposed_frees.fetch_add(1, Ordering::Relaxed);
+        self.interposed_frees.incr();
         match self.registry.remove(ptr as usize) {
             Some(e) => {
                 let vuln = VulnFlags::from_bits_truncate(e.vuln);
                 if vuln.contains(VulnFlags::USE_AFTER_FREE) {
-                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.quarantined.incr();
                     let quota = self.quota.load(Ordering::Relaxed);
                     for evicted in self.quarantine.push(e, quota).into_iter().flatten() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.evictions.incr();
                         self.release(evicted);
                     }
                 } else {

@@ -46,5 +46,7 @@
 pub mod ccid;
 pub mod galloc;
 mod registry;
+pub mod throughput;
 
 pub use galloc::{HardenedAlloc, HardenedStats, PatchEntry};
+pub use registry::RegistryStats;

@@ -1,0 +1,152 @@
+//! Safe allocation-throughput drivers for the multi-threaded scaling
+//! benchmark (`reproduce scaling`).
+//!
+//! The benchmark crate is `#![forbid(unsafe_code)]`, so the raw
+//! [`GlobalAlloc`] loops live here: each function performs `pairs`
+//! allocate–touch–free round trips of `size` bytes on the calling thread
+//! and returns the number of pairs completed. The bench harness runs them
+//! from N threads at once and divides by wall time.
+
+use crate::ccid;
+use crate::galloc::HardenedAlloc;
+use std::alloc::{GlobalAlloc, Layout, System};
+
+fn layout(size: usize) -> Layout {
+    Layout::from_size_align(size.max(1), 8).expect("valid bench layout")
+}
+
+/// Allocate/touch/free `pairs` times straight against the system allocator
+/// (the "native" series).
+pub fn native_pairs(pairs: u64, size: usize) -> u64 {
+    let l = layout(size);
+    for i in 0..pairs {
+        unsafe {
+            // black_box the pointer: Rust allocator calls are elidable, and
+            // LLVM happily removes the whole pair otherwise.
+            let p = std::hint::black_box(System.alloc(l));
+            assert!(!p.is_null());
+            p.write((i as u8).wrapping_add(1));
+            std::hint::black_box(p.read());
+            System.dealloc(std::hint::black_box(p), l);
+        }
+    }
+    pairs
+}
+
+/// Allocate/touch/free `pairs` times through `a`.
+///
+/// When `patched_site` is set, every `patched_every`-th pair enters that
+/// instrumented call site first, so the allocation's `(FUN, CCID)` probes
+/// hot in the patch table — the "N-patch" series of Fig. 8, but threaded.
+pub fn hardened_pairs(
+    a: &HardenedAlloc,
+    pairs: u64,
+    size: usize,
+    patched_site: Option<u64>,
+    patched_every: u64,
+) -> u64 {
+    let l = layout(size);
+    let every = patched_every.max(1);
+    for i in 0..pairs {
+        unsafe {
+            let patched = patched_site.filter(|_| i % every == 0);
+            let p = match patched {
+                Some(site) => {
+                    let _scope = ccid::CallScope::enter(site);
+                    a.alloc(l)
+                }
+                None => a.alloc(l),
+            };
+            assert!(!p.is_null());
+            p.write((i as u8).wrapping_add(1));
+            std::hint::black_box(p.read());
+            a.dealloc(p, l);
+        }
+    }
+    pairs
+}
+
+/// Allocates `count` buffers of `size` bytes inside patched call site
+/// `site`, writes a per-buffer tag, then verifies every tag and frees in
+/// allocation order. Returns the number of tag mismatches (0 = no buffer
+/// was lost or corrupted while many patched allocations were live at once).
+pub fn hardened_batch(a: &HardenedAlloc, count: usize, size: usize, site: u64) -> usize {
+    let l = layout(size);
+    let _scope = ccid::CallScope::enter(site);
+    let mut ptrs = Vec::with_capacity(count);
+    for i in 0..count {
+        unsafe {
+            let p = a.alloc(l);
+            assert!(!p.is_null());
+            p.write((i as u8) ^ 0x5A);
+            ptrs.push(p);
+        }
+    }
+    let mut corrupt = 0;
+    for (i, p) in ptrs.into_iter().enumerate() {
+        unsafe {
+            if p.read() != (i as u8) ^ 0x5A {
+                corrupt += 1;
+            }
+            a.dealloc(p, l);
+        }
+    }
+    corrupt
+}
+
+/// The CCID observed from inside instrumented site `site` on this thread —
+/// what a patch targeting that site must carry.
+pub fn site_ccid(site: u64) -> u64 {
+    ccid::with_site(site, ccid::current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::galloc::PatchEntry;
+    use ht_patch::{AllocFn, VulnFlags};
+
+    #[test]
+    fn native_loop_completes() {
+        assert_eq!(native_pairs(100, 64), 100);
+    }
+
+    #[test]
+    fn batch_holds_live_buffers_without_corruption() {
+        let a = HardenedAlloc::new();
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            site_ccid(0xBA7C),
+            VulnFlags::OVERFLOW,
+        )]);
+        assert_eq!(hardened_batch(&a, 100, 64, 0xBA7C), 0);
+        let st = a.stats();
+        assert_eq!(st.table_hits, 100);
+        assert_eq!(st.interposed_allocs, st.interposed_frees);
+        assert_eq!(a.registry_stats().live(), 0);
+    }
+
+    #[test]
+    fn hardened_loop_unpatched_is_pass_through() {
+        let a = HardenedAlloc::new();
+        assert_eq!(hardened_pairs(&a, 50, 64, None, 1), 50);
+        let st = a.stats();
+        assert_eq!(st.interposed_allocs, 50);
+        assert_eq!(st.interposed_frees, 50);
+        assert_eq!(st.table_hits, 0);
+    }
+
+    #[test]
+    fn hardened_loop_hits_the_patched_context() {
+        let a = HardenedAlloc::new();
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            site_ccid(0x5CA1),
+            VulnFlags::OVERFLOW,
+        )]);
+        assert_eq!(hardened_pairs(&a, 64, 64, Some(0x5CA1), 16), 64);
+        let st = a.stats();
+        assert_eq!(st.table_hits, 4, "every 16th pair probes hot");
+        assert_eq!(st.guard_pages, 4);
+    }
+}

@@ -1,21 +1,34 @@
 //! The frozen online patch table.
 
 use crate::{AllocFn, Patch, VulnFlags};
-use std::collections::HashMap;
 
 /// The hash table the online defense probes on every allocation.
 ///
 /// Built once at program initialization from the configuration file and then
 /// frozen (the paper `mprotect`s its pages read-only; here immutability is
-/// enforced by the type: there is no mutating method). Lookup is O(1) on the
-/// `(FUN, CCID)` key.
+/// enforced by the type: there is no mutating method). The backing store is
+/// a flat open-addressing probe array sized to ≤ 50% load — the hot lookup
+/// is a hash, a mask, and a short linear scan over one cache line in the
+/// common case, with no `HashMap` bucket indirection and no SipHash.
 ///
 /// Duplicate keys merge their vulnerability bits — an input exploiting
 /// multiple vulnerabilities of one buffer yields one entry with several bits
 /// set (paper Section V, "How to handle multiple vulnerabilities").
+///
+/// [`PatchTable::iter`] yields entries sorted by `(FUN, CCID)`, so every
+/// report or configuration file derived from a table is byte-identical
+/// across runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PatchTable {
-    entries: HashMap<(AllocFn, u64), VulnFlags>,
+    /// Probe array; `None` = empty slot. Power-of-two length.
+    slots: Vec<Option<((AllocFn, u64), VulnFlags)>>,
+    /// The merged entries, sorted by `(FUN, CCID)`.
+    entries: Vec<(AllocFn, u64, VulnFlags)>,
+}
+
+#[inline]
+fn key_hash(fun: AllocFn, ccid: u64) -> usize {
+    (ccid ^ ((fun as u64) << 56)).wrapping_mul(0x9E3779B97F4A7C15) as usize
 }
 
 impl PatchTable {
@@ -26,18 +39,58 @@ impl PatchTable {
 
     /// Builds a table from patches, merging duplicates.
     pub fn from_patches<I: IntoIterator<Item = Patch>>(patches: I) -> Self {
-        let mut entries: HashMap<(AllocFn, u64), VulnFlags> = HashMap::new();
-        for p in patches {
-            *entries.entry(p.key()).or_insert(VulnFlags::NONE) |= p.vuln;
+        let mut entries: Vec<(AllocFn, u64, VulnFlags)> = patches
+            .into_iter()
+            .map(|p| (p.alloc_fn, p.ccid, p.vuln))
+            .collect();
+        entries.sort_by_key(|&(f, c, _)| (f, c));
+        entries.dedup_by(|later, earlier| {
+            if (earlier.0, earlier.1) == (later.0, later.1) {
+                earlier.2 |= later.2;
+                true
+            } else {
+                false
+            }
+        });
+        let mut table = Self {
+            slots: Vec::new(),
+            entries,
+        };
+        table.rebuild_slots();
+        table
+    }
+
+    /// Rebuilds the probe array from `self.entries` at ≤ 50% load.
+    fn rebuild_slots(&mut self) {
+        let cap = (self.entries.len() * 2).next_power_of_two().max(8);
+        self.slots.clear();
+        self.slots.resize(cap, None);
+        let mask = cap - 1;
+        for &(fun, ccid, vuln) in &self.entries {
+            let mut s = key_hash(fun, ccid) & mask;
+            while self.slots[s].is_some() {
+                s = (s + 1) & mask;
+            }
+            self.slots[s] = Some(((fun, ccid), vuln));
         }
-        Self { entries }
     }
 
     /// O(1) probe: is a buffer allocated via `fun` under context `ccid`
     /// vulnerable, and to what?
     #[inline]
     pub fn lookup(&self, fun: AllocFn, ccid: u64) -> Option<VulnFlags> {
-        self.entries.get(&(fun, ccid)).copied()
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut s = key_hash(fun, ccid) & mask;
+        while let Some((key, vuln)) = self.slots[s] {
+            if key == (fun, ccid) {
+                return Some(vuln);
+            }
+            s = (s + 1) & mask;
+        }
+        None
     }
 
     /// Number of distinct `(FUN, CCID)` entries.
@@ -50,9 +103,10 @@ impl PatchTable {
         self.entries.is_empty()
     }
 
-    /// Iterates over entries in unspecified order.
+    /// Iterates over entries in ascending `(FUN, CCID)` order — a
+    /// deterministic order, so derived output is stable across runs.
     pub fn iter(&self) -> impl Iterator<Item = (AllocFn, u64, VulnFlags)> + '_ {
-        self.entries.iter().map(|(&(f, c), &v)| (f, c, v))
+        self.entries.iter().copied()
     }
 }
 
@@ -64,9 +118,15 @@ impl FromIterator<Patch> for PatchTable {
 
 impl Extend<Patch> for PatchTable {
     fn extend<I: IntoIterator<Item = Patch>>(&mut self, iter: I) {
-        for p in iter {
-            *self.entries.entry(p.key()).or_insert(VulnFlags::NONE) |= p.vuln;
-        }
+        // Rebuild-on-extend: extension happens at configuration-load time,
+        // never on the allocation path, so simplicity wins over speed.
+        let merged = Self::from_patches(
+            self.entries
+                .iter()
+                .map(|&(f, c, v)| Patch::new(f, c, v))
+                .chain(iter),
+        );
+        *self = merged;
     }
 }
 
@@ -117,22 +177,57 @@ mod tests {
             t.lookup(AllocFn::Malloc, 1),
             Some(VulnFlags::OVERFLOW | VulnFlags::USE_AFTER_FREE)
         );
+        t.extend([Patch::new(AllocFn::Realloc, 7, VulnFlags::OVERFLOW)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(AllocFn::Realloc, 7), Some(VulnFlags::OVERFLOW));
     }
 
     #[test]
-    fn iter_yields_all_entries() {
+    fn iter_yields_all_entries_sorted() {
         let t = PatchTable::from_patches([
-            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
             Patch::new(AllocFn::Realloc, 2, VulnFlags::ALL),
+            Patch::new(AllocFn::Malloc, 5, VulnFlags::USE_AFTER_FREE),
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
         ]);
-        let mut got: Vec<_> = t.iter().collect();
-        got.sort();
+        let got: Vec<_> = t.iter().collect();
         assert_eq!(
             got,
             vec![
                 (AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+                (AllocFn::Malloc, 5, VulnFlags::USE_AFTER_FREE),
                 (AllocFn::Realloc, 2, VulnFlags::ALL),
-            ]
+            ],
+            "iteration order is sorted (FUN, CCID), not hash order"
         );
+    }
+
+    #[test]
+    fn dense_tables_probe_correctly() {
+        // Enough keys to force wraparound probes at 50% load.
+        let patches: Vec<Patch> = (0..300)
+            .map(|i| Patch::new(AllocFn::Malloc, i * 3 + 1, VulnFlags::OVERFLOW))
+            .collect();
+        let t = PatchTable::from_patches(patches);
+        assert_eq!(t.len(), 300);
+        for i in 0..300u64 {
+            assert_eq!(
+                t.lookup(AllocFn::Malloc, i * 3 + 1),
+                Some(VulnFlags::OVERFLOW)
+            );
+            assert_eq!(t.lookup(AllocFn::Malloc, i * 3 + 2), None);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = PatchTable::from_patches([
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+            Patch::new(AllocFn::Calloc, 2, VulnFlags::UNINIT_READ),
+        ]);
+        let b = PatchTable::from_patches([
+            Patch::new(AllocFn::Calloc, 2, VulnFlags::UNINIT_READ),
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+        ]);
+        assert_eq!(a, b);
     }
 }

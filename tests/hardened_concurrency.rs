@@ -1,0 +1,174 @@
+//! Threaded stress and property coverage for the sharded hardened
+//! allocator: with 8 threads hammering patched and unpatched contexts, the
+//! registry never loses or corrupts a live pointer, and the striped
+//! counters conserve (allocs = frees, registry inserts = removes + live).
+//!
+//! Everything goes through the public API plus the safe
+//! [`throughput`](heaptherapy_plus::hardened_alloc::throughput) drivers —
+//! no `unsafe` in this file.
+
+use heaptherapy_plus::hardened_alloc::{throughput, HardenedAlloc, PatchEntry};
+use heaptherapy_plus::patch::{AllocFn, VulnFlags};
+use proptest::prelude::*;
+
+/// Distinct instrumented call sites, one per vulnerability class.
+const OVERFLOW_SITE: u64 = 0xF100;
+const UAF_SITE: u64 = 0xF200;
+const UR_SITE: u64 = 0xF300;
+
+fn patched_alloc() -> Box<HardenedAlloc> {
+    let a = Box::new(HardenedAlloc::new());
+    let installed = a.install(&[
+        PatchEntry::new(
+            AllocFn::Malloc,
+            throughput::site_ccid(OVERFLOW_SITE),
+            VulnFlags::OVERFLOW,
+        ),
+        PatchEntry::new(
+            AllocFn::Malloc,
+            throughput::site_ccid(UAF_SITE),
+            VulnFlags::USE_AFTER_FREE,
+        ),
+        PatchEntry::new(
+            AllocFn::Malloc,
+            throughput::site_ccid(UR_SITE),
+            VulnFlags::UNINIT_READ,
+        ),
+    ]);
+    assert_eq!(installed, 3);
+    a.freeze();
+    a
+}
+
+/// 8 threads × alternating vulnerability classes, every 4th allocation in a
+/// patched context: exact counter conservation at the end.
+#[test]
+fn threaded_pairs_conserve_every_counter() {
+    const THREADS: usize = 8;
+    const PAIRS: u64 = 2000; // divisible by EVERY
+    const EVERY: u64 = 4;
+    let a = patched_alloc();
+
+    let sites = [OVERFLOW_SITE, UAF_SITE, UR_SITE];
+    ht_par::par_spawn(THREADS, |i| {
+        let done =
+            throughput::hardened_pairs(&a, PAIRS, 32 + i * 8, Some(sites[i % sites.len()]), EVERY);
+        assert_eq!(done, PAIRS);
+    });
+
+    let st = a.stats();
+    let total = THREADS as u64 * PAIRS;
+    let patched_per_thread = PAIRS / EVERY;
+    assert_eq!(st.interposed_allocs, total);
+    assert_eq!(st.interposed_frees, total);
+    assert_eq!(st.table_hits, THREADS as u64 * patched_per_thread);
+    // Thread i uses sites[i % 3]: overflow on 0,3,6 (3 threads), UAF on
+    // 1,4,7 (3 threads), UR on 2,5 (2 threads).
+    assert_eq!(st.guard_pages, 3 * patched_per_thread);
+    assert_eq!(st.quarantined, 3 * patched_per_thread);
+    assert_eq!(st.zero_fills, 2 * patched_per_thread);
+    assert!(st.evictions <= st.quarantined);
+    assert_eq!(st.fail_open, 0, "registry/table never filled up");
+
+    // Registry conservation: every guarded or quarantine-bound allocation
+    // was inserted exactly once and removed exactly once (UR-only buffers
+    // are zeroed, not registered; quarantined blocks leave the registry
+    // when their free is deferred).
+    let rs = a.registry_stats();
+    assert_eq!(rs.inserts, rs.removes + rs.live());
+    assert_eq!(rs.live(), 0, "no patched pointer leaked");
+    assert_eq!(
+        rs.inserts,
+        st.guard_pages + st.quarantined,
+        "each guarded/deferred allocation registered once"
+    );
+}
+
+/// 8 threads each hold a large batch of patched allocations live at once —
+/// entries from all threads interleave across every registry shard — then
+/// verify their buffers byte-for-byte before freeing.
+#[test]
+fn threaded_batches_never_lose_or_corrupt_live_pointers() {
+    const THREADS: usize = 8;
+    const COUNT: usize = 96;
+    let a = patched_alloc();
+
+    ht_par::par_spawn(THREADS, |i| {
+        for round in 0..4 {
+            let corrupt = throughput::hardened_batch(&a, COUNT, 64 + round * 32, OVERFLOW_SITE);
+            assert_eq!(corrupt, 0, "thread {i} round {round}: corrupted buffer");
+        }
+    });
+
+    let st = a.stats();
+    assert_eq!(st.interposed_allocs, st.interposed_frees);
+    assert_eq!(st.fail_open, 0);
+    assert_eq!(st.guard_pages, (THREADS * 4 * COUNT) as u64);
+    let rs = a.registry_stats();
+    assert_eq!(rs.live(), 0);
+    assert_eq!(rs.inserts, (THREADS * 4 * COUNT) as u64);
+}
+
+/// One thread's mixed workload, used as the proptest unit below.
+#[derive(Debug, Clone, Copy)]
+struct Workload {
+    pairs: u64,
+    size: usize,
+    site: Option<u64>,
+    every: u64,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (1u64..200, 1usize..512, 0usize..4, 1u64..8).prop_map(|(pairs, size, site, every)| Workload {
+        pairs,
+        size,
+        site: [None, Some(OVERFLOW_SITE), Some(UAF_SITE), Some(UR_SITE)][site],
+        every,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever mix of patched/unpatched workloads runs on however many
+    /// threads, the allocator's books balance afterwards.
+    #[test]
+    fn stats_conservation_holds_for_arbitrary_threaded_workloads(
+        workloads in proptest::collection::vec(arb_workload(), 1..6),
+    ) {
+        let a = patched_alloc();
+        let expected_allocs: u64 = workloads.iter().map(|w| w.pairs).sum();
+        let expected_hits: u64 = workloads
+            .iter()
+            .filter(|w| w.site.is_some())
+            .map(|w| w.pairs.div_ceil(w.every))
+            .sum();
+        // UR-only buffers are zeroed in place, never registered.
+        let expected_registered: u64 = workloads
+            .iter()
+            .filter(|w| matches!(w.site, Some(OVERFLOW_SITE) | Some(UAF_SITE)))
+            .map(|w| w.pairs.div_ceil(w.every))
+            .sum();
+
+        ht_par::par_spawn(workloads.len(), |i| {
+            let w = workloads[i];
+            throughput::hardened_pairs(&a, w.pairs, w.size, w.site, w.every);
+        });
+
+        let st = a.stats();
+        prop_assert_eq!(st.interposed_allocs, expected_allocs);
+        prop_assert_eq!(st.interposed_frees, expected_allocs);
+        prop_assert_eq!(st.table_hits, expected_hits);
+        prop_assert_eq!(
+            st.guard_pages + st.quarantined + st.zero_fills,
+            expected_hits
+        );
+        prop_assert!(st.evictions <= st.quarantined);
+        prop_assert_eq!(st.fail_open, 0);
+
+        let rs = a.registry_stats();
+        prop_assert_eq!(rs.inserts, rs.removes + rs.live());
+        prop_assert_eq!(rs.live(), 0);
+        prop_assert_eq!(rs.inserts, expected_registered);
+    }
+}
