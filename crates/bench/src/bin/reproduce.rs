@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the HeapTherapy+ evaluation.
 //!
 //! ```text
-//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations|scaling]
+//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations|scaling|shadow]
 //!           [--allocs N] [--samples N] [--requests N] [--threads N]
-//!           [--pairs N] [--json PATH]
+//!           [--pairs N] [--repeat N] [--reference-kernels] [--json PATH]
 //! ```
 //!
 //! Paper-reported numbers are printed beside the measured ones. Absolute
@@ -11,7 +11,8 @@
 //! with `--release` for meaningful timings.
 
 use ht_bench::{
-    ablation, encoding, fig2, fig8, fig9, lint, scaling, services, table1, table2, table3, table4,
+    ablation, encoding, fig2, fig8, fig9, lint, scaling, services, shadow, table1, table2, table3,
+    table4,
 };
 
 struct Opts {
@@ -24,7 +25,11 @@ struct Opts {
     threads: usize,
     /// Allocate/free pairs per worker in the scaling benchmark.
     pairs: u64,
-    /// Optional path to write the scaling rows as JSON.
+    /// Corpus passes inside each timed sample of the shadow benchmark.
+    repeat: usize,
+    /// Run the byte-at-a-time reference shadow kernels (table2 parity runs).
+    reference_kernels: bool,
+    /// Optional path to write the scaling/shadow rows as JSON.
     json: Option<String>,
 }
 
@@ -37,6 +42,8 @@ fn parse_args() -> Opts {
         requests: 2_000,
         threads: ht_par::available_threads(),
         pairs: 200_000,
+        repeat: 1,
+        reference_kernels: false,
         json: None,
     };
     let mut args = std::env::args().skip(1);
@@ -58,6 +65,14 @@ fn parse_args() -> Opts {
                     .unwrap_or(1)
             }
             "--pairs" => opts.pairs = args.next().and_then(|v| v.parse().ok()).unwrap_or(200_000),
+            "--repeat" => {
+                opts.repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(1)
+            }
+            "--reference-kernels" => opts.reference_kernels = true,
             "--json" => opts.json = args.next(),
             other if !other.starts_with("--") => opts.what = other.to_string(),
             other => eprintln!("ignoring unknown flag {other}"),
@@ -98,7 +113,7 @@ fn run_table1() {
 
 fn run_table2(opts: &Opts) {
     header("Table II — effectiveness (7 CVE models + 23 SAMATE cases)");
-    let rows = table2::rows(opts.threads);
+    let rows = table2::rows_with(opts.threads, opts.reference_kernels);
     for r in &rows {
         println!("{}", r.table_row());
     }
@@ -334,6 +349,57 @@ fn run_scaling(opts: &Opts) {
     }
 }
 
+fn run_shadow(opts: &Opts) {
+    header("Shadow — offline-replay kernel throughput (word vs byte-at-a-time reference)");
+    let report = shadow::run(opts.samples, opts.repeat);
+    println!(
+        "corpus: {} shadow events (Table II suite, all attack + benign inputs)",
+        report.word.events
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>9}",
+        "kernels", "events/s", "secs/pass", "speedup"
+    );
+    println!(
+        "{:<12} {:>14.0} {:>14.4} {:>9}",
+        "reference",
+        report.reference.events_per_sec(),
+        report.reference.secs,
+        "1.00x"
+    );
+    println!(
+        "{:<12} {:>14.0} {:>14.4} {:>8.2}x",
+        "word",
+        report.word.events_per_sec(),
+        report.word.secs,
+        report.replay_speedup()
+    );
+    println!(
+        "\nper-kernel microbenches ({} B span):",
+        shadow::KERNEL_SPAN
+    );
+    println!(
+        "{:<24} {:>14} {:>12} {:>9}",
+        "kernel", "reference ns", "word ns", "speedup"
+    );
+    for k in &report.kernels {
+        println!(
+            "{:<24} {:>14.0} {:>12.0} {:>8.2}x",
+            k.name,
+            k.reference_ns,
+            k.word_ns,
+            k.speedup()
+        );
+    }
+    println!("(distinguished pages + word scans + last-page/interval caches; both modes emit identical warnings)");
+    if let Some(path) = &opts.json {
+        let j = shadow::to_json(&report, opts.samples, opts.repeat);
+        std::fs::write(path, j.to_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn run_extras() {
     use heaptherapy_core::{incident_report, HeapTherapy, PipelineConfig};
     use ht_callgraph::Strategy;
@@ -398,6 +464,7 @@ fn main() {
         "services" => run_services(&opts),
         "ablations" => run_ablations(&opts),
         "scaling" => run_scaling(&opts),
+        "shadow" => run_shadow(&opts),
         "extras" => run_extras(),
         "all" => {
             run_fig2();
@@ -416,7 +483,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown target `{other}`; expected one of all, fig2, table1, table2, \
-                 table3, table4, encoding, fig8, fig9, services, ablations, lint, scaling"
+                 table3, table4, encoding, fig8, fig9, services, ablations, lint, scaling, \
+                 shadow"
             );
             std::process::exit(2);
         }

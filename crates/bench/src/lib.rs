@@ -21,6 +21,7 @@
 //! | [`ablation`] | design-choice ablations (stack walking, guard-all, quota, lookup) |
 //! | [`lint`] | static triage — static-vs-dynamic agreement on the Table II suite |
 //! | [`scaling`] | multi-threaded allocation-throughput scaling (not in the paper) |
+//! | [`shadow`] | offline-replay kernel throughput, word vs. reference (not in the paper) |
 
 pub mod ablation;
 pub mod encoding;
@@ -30,6 +31,7 @@ pub mod fig9;
 pub mod lint;
 pub mod scaling;
 pub mod services;
+pub mod shadow;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,13 +1,27 @@
 //! Table II — effectiveness on the vulnerable-program suite.
 
 use heaptherapy_core::{CycleReport, HeapTherapy, PipelineConfig};
+use ht_shadow::ShadowConfig;
 
 /// Runs the full patch-generation/deployment cycle on every Table II model
 /// (7 CVE programs + 23 SAMATE cases), `threads` apps at a time. Every app's
 /// cycle is independent, so the row order (and content) is identical at any
 /// thread count.
 pub fn rows(threads: usize) -> Vec<CycleReport> {
-    let ht = HeapTherapy::new(PipelineConfig::default());
+    rows_with(threads, false)
+}
+
+/// [`rows`], optionally forcing the byte-at-a-time reference shadow
+/// kernels. Word and reference kernels must produce byte-identical rows —
+/// CI diffs the two (`--reference-kernels`).
+pub fn rows_with(threads: usize, reference_kernels: bool) -> Vec<CycleReport> {
+    let ht = HeapTherapy::new(PipelineConfig {
+        shadow: ShadowConfig {
+            reference_kernels,
+            ..ShadowConfig::default()
+        },
+        ..PipelineConfig::default()
+    });
     ht_par::par_map(threads, &ht_vulnapps::table2_suite(), |_, app| {
         ht.full_cycle(app)
             .unwrap_or_else(|e| panic!("{}: {e}", app.name))

@@ -272,18 +272,51 @@ impl AddressSpace {
     ///
     /// Same semantics as [`AddressSpace::write`].
     pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemFault> {
-        // Page-at-a-time to avoid materializing `len` bytes.
+        // Page-at-a-time through a stack chunk — no per-call allocation.
+        let chunk = [byte; PAGE_SIZE as usize];
         let mut done = 0u64;
-        let chunk = [0u8; 256];
-        let _ = chunk;
         while done < len {
             let n = (PAGE_SIZE - (addr + done) % PAGE_SIZE).min(len - done);
-            let buf = vec![byte; n as usize];
-            self.write(addr + done, &buf).map_err(|mut f| {
-                f.completed += done;
-                f
-            })?;
+            self.write(addr + done, &chunk[..n as usize])
+                .map_err(|mut f| {
+                    f.completed += done;
+                    f
+                })?;
             done += n;
+        }
+        Ok(())
+    }
+
+    /// Privileged fill of `len` bytes with `byte`, ignoring permissions
+    /// (kernel/analyzer view) — `memset` without materializing a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same semantics as [`AddressSpace::write_raw`]: faults only on
+    /// unmapped pages, bytes before the fault persist.
+    pub fn fill_raw(&mut self, addr: Addr, len: u64, byte: u8) -> Result<(), MemFault> {
+        let mut done = 0u64;
+        while done < len {
+            let a = addr + done;
+            let pno = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = (PAGE_SIZE - a % PAGE_SIZE).min(len - done) as usize;
+            let was_dirty = {
+                let page = self.pages.get_mut(&pno).ok_or(MemFault {
+                    addr: a,
+                    kind: FaultKind::Unmapped,
+                    completed: done,
+                })?;
+                page.data[off..off + n].fill(byte);
+                let was = page.dirty;
+                page.dirty = true;
+                was
+            };
+            if !was_dirty {
+                self.stats.rss_bytes += PAGE_SIZE;
+                self.stats.peak_rss_bytes = self.stats.peak_rss_bytes.max(self.stats.rss_bytes);
+            }
+            done += n as u64;
         }
         Ok(())
     }
@@ -383,16 +416,83 @@ impl AddressSpace {
         self.write_raw(addr, &v.to_le_bytes())
     }
 
-    /// Copies `len` bytes between (possibly overlapping) mapped ranges,
-    /// ignoring permissions — used by `realloc` internally.
+    /// First unmapped page in `[addr, addr+len)`, as the fault `read_raw`
+    /// (src) or `write_raw` (dst) would report for that range.
+    fn find_unmapped(&self, addr: Addr, len: u64) -> Option<MemFault> {
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            if !self.pages.contains_key(&(a / PAGE_SIZE)) {
+                return Some(MemFault {
+                    addr: a,
+                    kind: FaultKind::Unmapped,
+                    completed: a - addr,
+                });
+            }
+            a += PAGE_SIZE - a % PAGE_SIZE;
+        }
+        None
+    }
+
+    /// Copies `len` bytes between (possibly overlapping) mapped ranges with
+    /// `memmove` semantics, ignoring permissions — used by `realloc`
+    /// internally. Chunked page-to-page (direction-aware for overlap), so it
+    /// never materializes a `len`-byte buffer.
     ///
     /// # Errors
     ///
-    /// Faults only on unmapped pages.
+    /// Faults only on unmapped pages (src reported before dst, like the
+    /// read-then-write it replaces); both ranges are validated up front, so
+    /// a faulting copy transfers nothing.
     pub fn copy_raw(&mut self, src: Addr, dst: Addr, len: u64) -> Result<(), MemFault> {
-        let mut buf = vec![0u8; len as usize];
-        self.read_raw(src, &mut buf)?;
-        self.write_raw(dst, &buf)
+        if let Some(f) = self
+            .find_unmapped(src, len)
+            .or_else(|| self.find_unmapped(dst, len))
+        {
+            return Err(f);
+        }
+        let backward = dst > src && dst - src < len;
+        let mut tmp = [0u8; PAGE_SIZE as usize];
+        let mut copy_chunk = |this: &mut Self, s: Addr, d: Addr, n: usize| {
+            let (spno, dpno) = (s / PAGE_SIZE, d / PAGE_SIZE);
+            let soff = (s % PAGE_SIZE) as usize;
+            let doff = (d % PAGE_SIZE) as usize;
+            if spno == dpno {
+                let page = this.pages.get_mut(&spno).expect("validated");
+                page.data.copy_within(soff..soff + n, doff);
+            } else {
+                let spage = this.pages.get(&spno).expect("validated");
+                tmp[..n].copy_from_slice(&spage.data[soff..soff + n]);
+                let dpage = this.pages.get_mut(&dpno).expect("validated");
+                dpage.data[doff..doff + n].copy_from_slice(&tmp[..n]);
+            }
+            let dpage = this.pages.get_mut(&dpno).expect("validated");
+            if !dpage.dirty {
+                dpage.dirty = true;
+                this.stats.rss_bytes += PAGE_SIZE;
+                this.stats.peak_rss_bytes = this.stats.peak_rss_bytes.max(this.stats.rss_bytes);
+            }
+        };
+        if backward {
+            let mut i = len;
+            while i > 0 {
+                let s_room = (src + i - 1) % PAGE_SIZE + 1;
+                let d_room = (dst + i - 1) % PAGE_SIZE + 1;
+                let n = s_room.min(d_room).min(i);
+                i -= n;
+                copy_chunk(self, src + i, dst + i, n as usize);
+            }
+        } else {
+            let mut i = 0;
+            while i < len {
+                let s_room = PAGE_SIZE - (src + i) % PAGE_SIZE;
+                let d_room = PAGE_SIZE - (dst + i) % PAGE_SIZE;
+                let n = s_room.min(d_room).min(len - i);
+                copy_chunk(self, src + i, dst + i, n as usize);
+                i += n;
+            }
+        }
+        Ok(())
     }
 
     /// Current usage statistics.
@@ -529,6 +629,60 @@ mod tests {
         s.protect(a + PAGE_SIZE, PAGE_SIZE, Perm::None).unwrap();
         let err = s.fill(a, 2 * PAGE_SIZE, 1).unwrap_err();
         assert_eq!(err.completed, PAGE_SIZE);
+    }
+
+    #[test]
+    fn fill_raw_ignores_permissions_and_reports_fault() {
+        let mut s = AddressSpace::new();
+        let a = s.map(2 * PAGE_SIZE, Perm::ReadWrite);
+        s.protect(a, PAGE_SIZE, Perm::None).unwrap();
+        // Privileged: fills through PROT_NONE, straddling the boundary.
+        s.fill_raw(a + PAGE_SIZE - 4, 8, 0x7E).unwrap();
+        let mut b = [0u8; 8];
+        s.read_raw(a + PAGE_SIZE - 4, &mut b).unwrap();
+        assert_eq!(b, [0x7E; 8]);
+        assert_eq!(s.rss_bytes(), 2 * PAGE_SIZE, "both pages dirtied");
+        // Runs off the end of the mapping: faults with completed count.
+        let err = s.fill_raw(a + PAGE_SIZE, 2 * PAGE_SIZE, 1).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.completed, PAGE_SIZE);
+        assert_eq!(err.addr, a + 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn copy_raw_overlapping_is_memmove_both_directions() {
+        let mut s = AddressSpace::new();
+        let a = s.map(4 * PAGE_SIZE, Perm::ReadWrite);
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        // Forward-overlapping (dst above src), straddling a page boundary.
+        let src = a + PAGE_SIZE - 80;
+        s.write(src, &data).unwrap();
+        s.copy_raw(src, src + 50, 200).unwrap();
+        let mut back = vec![0u8; 200];
+        s.read(src + 50, &mut back).unwrap();
+        assert_eq!(back, data, "dst got the ORIGINAL src bytes");
+        // Backward-overlapping (dst below src).
+        let src2 = a + 3 * PAGE_SIZE - 60;
+        s.write(src2, &data).unwrap();
+        s.copy_raw(src2, src2 - 50, 200).unwrap();
+        s.read(src2 - 50, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn copy_raw_faults_on_unmapped_pages() {
+        let mut s = AddressSpace::new();
+        let a = s.map(PAGE_SIZE, Perm::ReadWrite);
+        let b = s.map(PAGE_SIZE, Perm::ReadWrite);
+        // Source runs off its mapping: src fault reported, nothing copied.
+        let err = s.copy_raw(a + PAGE_SIZE - 4, b, 8).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+        assert_eq!(err.addr, a + PAGE_SIZE);
+        assert_eq!(err.completed, 4);
+        // Destination runs off: dst fault reported.
+        let err = s.copy_raw(a, b + PAGE_SIZE - 4, 8).unwrap_err();
+        assert_eq!(err.addr, b + PAGE_SIZE);
+        assert_eq!(err.completed, 4);
     }
 
     #[test]

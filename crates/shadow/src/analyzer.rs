@@ -1,7 +1,7 @@
 //! The shadow-memory analyzer backend: detection, warning-resume, patch
 //! generation.
 
-use crate::bits::ShadowBits;
+use crate::bits::{KernelMode, ShadowBits};
 use crate::heap::{BufId, BufState, HeapMap, Region};
 use crate::warning::{Warning, WarningKind};
 use ht_memsim::{
@@ -48,6 +48,10 @@ pub struct ShadowConfig {
     /// Optional CCID-subspace partition (paper §IX): only buffers in this
     /// replay's subspace are quarantined; the rest release immediately.
     pub partition: Option<CcidPartition>,
+    /// Run the byte-at-a-time reference shadow kernels
+    /// ([`KernelMode::Reference`]) and disable the [`HeapMap`] lookup
+    /// cache — the benchmark baseline and differential-test oracle.
+    pub reference_kernels: bool,
 }
 
 impl Default for ShadowConfig {
@@ -57,6 +61,7 @@ impl Default for ShadowConfig {
             quarantine_quota: 2 * 1024 * 1024 * 1024,
             dedup: true,
             partition: None,
+            reference_kernels: false,
         }
     }
 }
@@ -108,11 +113,16 @@ impl ShadowBackend {
 
     /// An analyzer with a custom configuration.
     pub fn with_config(cfg: ShadowConfig) -> Self {
+        let mode = if cfg.reference_kernels {
+            KernelMode::Reference
+        } else {
+            KernelMode::Word
+        };
         Self {
             space: AddressSpace::new(),
             heap: FreeListAllocator::new(),
-            bits: ShadowBits::new(),
-            map: HeapMap::new(),
+            bits: ShadowBits::with_mode(mode),
+            map: HeapMap::with_cache(!cfg.reference_kernels),
             quarantine: VecDeque::new(),
             quarantine_bytes: 0,
             warnings: Vec::new(),
@@ -204,11 +214,7 @@ impl ShadowBackend {
                     };
                     self.warn(kind, bad, write, origin);
                     // Skip the rest of this contiguous inaccessible run.
-                    let mut skip = bad;
-                    while skip < end && !self.bits.is_accessible(skip) {
-                        skip += 1;
-                    }
-                    a = skip;
+                    a = self.bits.first_accessible(bad, end - bad).unwrap_or(end);
                 }
             }
         }
@@ -269,20 +275,38 @@ impl ShadowBackend {
     /// Propagates per-byte uninitialized-data origins across a copy: an
     /// invalid byte keeps pointing at the buffer whose fresh memory it came
     /// from; a valid byte clears any stale origin at the destination.
+    ///
+    /// Runs of fully valid bytes (the common case) are located with the
+    /// word scanners and handled without touching the shadow planes again;
+    /// per-byte work is confined to the invalid runs, in the same forward
+    /// order as a byte-at-a-time walk (observable state is identical).
     fn propagate_origins(&mut self, src: Addr, dst: Addr, len: u64) {
-        for i in 0..len {
-            if self.bits.vmask(src + i) != 0xFF {
+        let end = src.saturating_add(len);
+        let mut a = src;
+        while a < end {
+            let bad = self.bits.first_invalid(a, end - a).unwrap_or(end);
+            // Valid run [a, bad): clear any stale destination origins.
+            if !self.copied_origins.is_empty() {
+                for i in a..bad {
+                    self.copied_origins.remove(&(dst + (i - src)));
+                }
+            }
+            if bad >= end {
+                break;
+            }
+            // Invalid run [bad, stop): per-byte origin propagation (rare).
+            let stop = self.bits.first_fully_valid(bad, end - bad).unwrap_or(end);
+            for i in bad..stop {
                 let origin = self
                     .copied_origins
-                    .get(&(src + i))
+                    .get(&i)
                     .copied()
-                    .or_else(|| self.map.lookup(src + i).map(|(rec, _)| rec.id));
+                    .or_else(|| self.map.lookup(i).map(|(rec, _)| rec.id));
                 if let Some(o) = origin {
-                    self.copied_origins.insert(dst + i, o);
+                    self.copied_origins.insert(dst + (i - src), o);
                 }
-            } else {
-                self.copied_origins.remove(&(dst + i));
             }
+            a = stop;
         }
     }
 
@@ -363,8 +387,7 @@ impl HeapBackend for ShadowBackend {
         // Resume: the store proceeds into retained memory (red zones and
         // quarantined blocks are still mapped — only truly wild stores
         // crash, as they would under Valgrind).
-        let buf = vec![byte; len as usize];
-        if let Err(f) = self.space.write_raw(addr, &buf) {
+        if let Err(f) = self.space.fill_raw(addr, len, byte) {
             self.warn(WarningKind::Wild, f.addr, true, None);
             return AccessOutcome::Stop(StopCause::Segfault {
                 addr: f.addr,
@@ -372,8 +395,10 @@ impl HeapBackend for ShadowBackend {
             });
         }
         self.bits.set_valid(addr, len, true);
-        for a in addr..addr + len {
-            self.copied_origins.remove(&a);
+        if !self.copied_origins.is_empty() {
+            for a in addr..addr.saturating_add(len) {
+                self.copied_origins.remove(&a);
+            }
         }
         AccessOutcome::Ok
     }
@@ -442,10 +467,7 @@ impl HeapBackend for ShadowBackend {
                         if let Some(id) = origin {
                             self.warn(WarningKind::UninitRead, bad, false, Some(id));
                         }
-                        let mut skip = bad;
-                        while skip < end && self.bits.vmask(skip) != 0xFF {
-                            skip += 1;
-                        }
+                        let skip = self.bits.first_fully_valid(bad, end - bad).unwrap_or(end);
                         // Once checked, mark valid to avoid chained warnings
                         // (paper Section V).
                         self.bits.set_valid(bad, skip - bad, true);

@@ -1,10 +1,97 @@
 //! Shadow bit planes: A-bits (accessibility, per byte) and V-bits
 //! (validity, per bit).
+//!
+//! The planes are stored per 4 KiB page with three layers of optimization
+//! (all behaviour-preserving — see `tests/shadow_kernels.rs` for the
+//! differential proof against the byte-at-a-time reference):
+//!
+//! * **Page-span word kernels** — every range operation is split into
+//!   per-page segments (one page-table lookup per *page*, not per byte);
+//!   range sets use `slice::fill`/masked head–tail bytes, range scans read
+//!   eight bytes at a time as `u64` words.
+//! * **Distinguished pages** (Memcheck-style) — a page that is uniformly
+//!   `NoAccess` (inaccessible + invalid), `Undefined` (accessible +
+//!   invalid, fresh `malloc` memory) or `Defined` (accessible + valid) is
+//!   represented by a one-byte tag; the ~4.5 KiB of plane data is
+//!   materialized copy-on-write only when a partial update breaks the
+//!   uniformity. [`ShadowBits::tracked_pages`] still counts tagged pages
+//!   (the memory-cost *proxy* keeps its meaning), while
+//!   [`ShadowBits::materialized_pages`] reports the real footprint.
+//! * **A one-entry last-page cache** — the analyzer's access streams hit
+//!   the same page repeatedly; the last resolved `(page, slot)` pair skips
+//!   the hash lookup.
+//!
+//! [`KernelMode::Reference`] switches every operation back to the
+//! byte-at-a-time, lookup-per-byte implementation (always-materialized
+//! pages, no cache). It is the oracle for the differential tests and the
+//! baseline of the `reproduce shadow` benchmark.
 
 use ht_memsim::FastMap;
 use ht_memsim::{Addr, PAGE_SIZE};
+use std::cell::Cell;
 
 const PAGE: usize = PAGE_SIZE as usize;
+const ABYTES: usize = PAGE / 8;
+/// Sentinel page number for an empty last-page cache (no real page has this
+/// number: the highest is `u64::MAX / PAGE_SIZE`).
+const NO_PAGE: u64 = u64::MAX;
+
+/// Which kernel implementations a [`ShadowBits`] (and the analyzer on top
+/// of it) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Page-span, word-wide kernels with distinguished pages (the default).
+    #[default]
+    Word,
+    /// Byte-at-a-time loops with a page lookup per byte — the seed
+    /// implementation, kept as the differential-test oracle and benchmark
+    /// baseline.
+    Reference,
+}
+
+/// Saturating end of `[addr, addr+len)`: ranges reaching past the top of
+/// the address space clamp to `u64::MAX` instead of wrapping. (The single
+/// byte at `u64::MAX` itself is unreachable — no workload can notice.)
+#[inline]
+fn range_end(addr: Addr, len: u64) -> u64 {
+    addr.saturating_add(len)
+}
+
+/// Distinguished page states (Memcheck's NOACCESS / UNDEFINED / DEFINED).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    /// Every byte inaccessible, every bit invalid — untracked memory, red
+    /// zones, freed blocks.
+    NoAccess,
+    /// Every byte accessible, every bit invalid — fresh `malloc` memory.
+    Undefined,
+    /// Every byte accessible, every bit valid — `calloc`ed or fully
+    /// written memory.
+    Defined,
+}
+
+impl Tag {
+    #[inline]
+    fn accessible(self) -> bool {
+        !matches!(self, Tag::NoAccess)
+    }
+    #[inline]
+    fn vfill(self) -> u8 {
+        if matches!(self, Tag::Defined) {
+            0xFF
+        } else {
+            0x00
+        }
+    }
+    #[inline]
+    fn afill(self) -> u8 {
+        if self.accessible() {
+            0xFF
+        } else {
+            0x00
+        }
+    }
+}
 
 struct ShadowPage {
     /// One validity mask byte per data byte (bit i ⇔ bit i of that byte).
@@ -14,11 +101,160 @@ struct ShadowPage {
 }
 
 impl ShadowPage {
-    fn new() -> Self {
+    fn from_tag(tag: Tag) -> Self {
         Self {
-            vbits: vec![0u8; PAGE].into_boxed_slice(),
-            abits: vec![0u8; PAGE / 8].into_boxed_slice(),
+            vbits: vec![tag.vfill(); PAGE].into_boxed_slice(),
+            abits: vec![tag.afill(); ABYTES].into_boxed_slice(),
         }
+    }
+}
+
+enum PageRepr {
+    /// Distinguished page: uniform state, no plane data allocated.
+    Tag(Tag),
+    /// Materialized plane data.
+    Mat(ShadowPage),
+}
+
+/// Bits `[lo, hi)` of one byte, as a mask.
+#[inline]
+fn bit_mask(lo: usize, hi: usize) -> u8 {
+    debug_assert!(lo <= hi && hi <= 8);
+    (((1u16 << (hi - lo)) - 1) as u8) << lo
+}
+
+/// Sets or clears the bit range `[start, end)` of a bit plane.
+fn set_bit_range(bits: &mut [u8], start: usize, end: usize, on: bool) {
+    if start >= end {
+        return;
+    }
+    let apply = |bits: &mut [u8], idx: usize, m: u8| {
+        if on {
+            bits[idx] |= m;
+        } else {
+            bits[idx] &= !m;
+        }
+    };
+    let (sb, si) = (start / 8, start % 8);
+    let (eb, ei) = (end / 8, end % 8);
+    if sb == eb {
+        apply(bits, sb, bit_mask(si, ei));
+        return;
+    }
+    apply(bits, sb, bit_mask(si, 8));
+    bits[sb + 1..eb].fill(if on { 0xFF } else { 0x00 });
+    if ei > 0 {
+        apply(bits, eb, bit_mask(0, ei));
+    }
+}
+
+/// First bit index in `[start, end)` whose value equals `want_set`,
+/// scanning eight bytes (64 bits) at a time.
+fn find_bit(bits: &[u8], start: usize, end: usize, want_set: bool) -> Option<usize> {
+    if start >= end {
+        return None;
+    }
+    let probe = |idx: usize, lo: usize, hi: usize| -> Option<usize> {
+        let b = if want_set { bits[idx] } else { !bits[idx] };
+        let m = b & bit_mask(lo, hi);
+        (m != 0).then(|| idx * 8 + m.trailing_zeros() as usize)
+    };
+    let (sb, si) = (start / 8, start % 8);
+    let (eb, ei) = (end / 8, end % 8);
+    if sb == eb {
+        return probe(sb, si, ei);
+    }
+    if si != 0 {
+        if let Some(i) = probe(sb, si, 8) {
+            return Some(i);
+        }
+    }
+    let wstart = if si == 0 { sb } else { sb + 1 };
+    let full = &bits[wstart..eb];
+    let mut chunks = full.chunks_exact(8);
+    for (k, c) in chunks.by_ref().enumerate() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        let w = if want_set { w } else { !w };
+        if w != 0 {
+            return Some((wstart + k * 8) * 8 + w.trailing_zeros() as usize);
+        }
+    }
+    let roff = wstart + full.len() - chunks.remainder().len();
+    for (k, &b) in chunks.remainder().iter().enumerate() {
+        let b = if want_set { b } else { !b };
+        if b != 0 {
+            return Some((roff + k) * 8 + b.trailing_zeros() as usize);
+        }
+    }
+    if ei > 0 {
+        return probe(eb, 0, ei);
+    }
+    None
+}
+
+/// First index in `bytes` whose value is not `0xFF` (word scan).
+fn find_byte_not_ff(bytes: &[u8]) -> Option<usize> {
+    let mut chunks = bytes.chunks_exact(8);
+    for (k, c) in chunks.by_ref().enumerate() {
+        let w = u64::from_le_bytes(c.try_into().unwrap());
+        if w != u64::MAX {
+            return Some(k * 8 + ((!w).trailing_zeros() / 8) as usize);
+        }
+    }
+    let off = bytes.len() - chunks.remainder().len();
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b != 0xFF)
+        .map(|i| off + i)
+}
+
+/// First index in `bytes` whose value IS `0xFF` (SWAR zero-byte scan on the
+/// complement: the classic `haszero` trick locates the lowest zero byte).
+fn find_byte_ff(bytes: &[u8]) -> Option<usize> {
+    const L: u64 = 0x0101_0101_0101_0101;
+    const H: u64 = 0x8080_8080_8080_8080;
+    let mut chunks = bytes.chunks_exact(8);
+    for (k, c) in chunks.by_ref().enumerate() {
+        let v = !u64::from_le_bytes(c.try_into().unwrap()); // zero byte ⇔ 0xFF
+        let z = v.wrapping_sub(L) & !v & H;
+        if z != 0 {
+            return Some(k * 8 + (z.trailing_zeros() / 8) as usize);
+        }
+    }
+    let off = bytes.len() - chunks.remainder().len();
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == 0xFF)
+        .map(|i| off + i)
+}
+
+/// Per-page segments `(page_number, offset, len)` of `[addr, addr+len)`,
+/// with a saturating (non-wrapping) end.
+struct Segments {
+    a: u64,
+    end: u64,
+}
+
+fn segments(addr: Addr, len: u64) -> Segments {
+    Segments {
+        a: addr,
+        end: range_end(addr, len),
+    }
+}
+
+impl Iterator for Segments {
+    type Item = (u64, usize, usize);
+    fn next(&mut self) -> Option<(u64, usize, usize)> {
+        if self.a >= self.end {
+            return None;
+        }
+        let pno = self.a / PAGE_SIZE;
+        let off = (self.a % PAGE_SIZE) as usize;
+        let n = ((PAGE_SIZE - self.a % PAGE_SIZE).min(self.end - self.a)) as usize;
+        self.a += n as u64;
+        Some((pno, off, n))
     }
 }
 
@@ -26,99 +262,484 @@ impl ShadowPage {
 ///
 /// Untracked memory is inaccessible and invalid — the analyzer marks heap
 /// regions explicitly on every allocation event.
-#[derive(Default)]
 pub struct ShadowBits {
-    pages: FastMap<u64, ShadowPage>,
+    /// Page number → slot in `slots`. Pages are never removed, so slots are
+    /// stable and the one-entry cache can hold plain indices.
+    index: FastMap<u64, u32>,
+    slots: Vec<PageRepr>,
+    /// Last `(page, slot)` resolved — the one-entry page cache.
+    last: Cell<(u64, u32)>,
+    mode: KernelMode,
+}
+
+impl Default for ShadowBits {
+    fn default() -> Self {
+        Self::with_mode(KernelMode::Word)
+    }
 }
 
 impl std::fmt::Debug for ShadowBits {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShadowBits")
-            .field("tracked_pages", &self.pages.len())
+            .field("tracked_pages", &self.tracked_pages())
+            .field("materialized_pages", &self.materialized_pages())
+            .field("mode", &self.mode)
             .finish()
     }
 }
 
 impl ShadowBits {
-    /// Empty shadow (everything inaccessible/invalid).
+    /// Empty shadow (everything inaccessible/invalid), word kernels.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn page_mut(&mut self, pno: u64) -> &mut ShadowPage {
-        self.pages.entry(pno).or_insert_with(ShadowPage::new)
+    /// Empty shadow running the given kernel implementations.
+    pub fn with_mode(mode: KernelMode) -> Self {
+        Self {
+            index: FastMap::default(),
+            slots: Vec::new(),
+            last: Cell::new((NO_PAGE, 0)),
+            mode,
+        }
     }
+
+    /// Which kernels this instance runs.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Resolves an existing page's slot through the one-entry cache.
+    #[inline]
+    fn find(&self, pno: u64) -> Option<u32> {
+        let (lp, ls) = self.last.get();
+        if lp == pno {
+            return Some(ls);
+        }
+        let s = *self.index.get(&pno)?;
+        self.last.set((pno, s));
+        Some(s)
+    }
+
+    /// Slot of `pno`, inserting a distinguished `NoAccess` page (the
+    /// untracked default, now counted as tracked) if absent.
+    #[inline]
+    fn slot_of(&mut self, pno: u64) -> u32 {
+        let (lp, ls) = self.last.get();
+        if lp == pno {
+            return ls;
+        }
+        let slots = &mut self.slots;
+        let s = *self.index.entry(pno).or_insert_with(|| {
+            let s = slots.len() as u32;
+            slots.push(PageRepr::Tag(Tag::NoAccess));
+            s
+        });
+        self.last.set((pno, s));
+        s
+    }
+
+    /// Copy-on-write materialization of a distinguished page.
+    fn mat(&mut self, slot: u32) -> &mut ShadowPage {
+        let r = &mut self.slots[slot as usize];
+        if let PageRepr::Tag(t) = *r {
+            *r = PageRepr::Mat(ShadowPage::from_tag(t));
+        }
+        match r {
+            PageRepr::Mat(p) => p,
+            PageRepr::Tag(_) => unreachable!("just materialized"),
+        }
+    }
+
+    /// The distinguished tag of a slot, or `None` if materialized.
+    #[inline]
+    fn tag_of(&self, slot: u32) -> Option<Tag> {
+        match &self.slots[slot as usize] {
+            PageRepr::Tag(t) => Some(*t),
+            PageRepr::Mat(_) => None,
+        }
+    }
+
+    // ---- reference (byte-at-a-time) primitives -------------------------
+
+    /// The seed implementation's `page_mut`: materializes unconditionally,
+    /// one hash lookup per call, no cache.
+    fn ref_page_mut(&mut self, pno: u64) -> &mut ShadowPage {
+        let slots = &mut self.slots;
+        let s = *self.index.entry(pno).or_insert_with(|| {
+            let s = slots.len() as u32;
+            slots.push(PageRepr::Tag(Tag::NoAccess));
+            s
+        });
+        self.mat(s)
+    }
+
+    fn ref_repr(&self, pno: u64) -> Option<&PageRepr> {
+        self.index.get(&pno).map(|&s| &self.slots[s as usize])
+    }
+
+    fn ref_is_accessible(&self, addr: Addr) -> bool {
+        match self.ref_repr(addr / PAGE_SIZE) {
+            None => false,
+            Some(PageRepr::Tag(t)) => t.accessible(),
+            Some(PageRepr::Mat(p)) => {
+                let off = (addr % PAGE_SIZE) as usize;
+                p.abits[off / 8] & (1 << (off % 8)) != 0
+            }
+        }
+    }
+
+    fn ref_vmask(&self, addr: Addr) -> u8 {
+        match self.ref_repr(addr / PAGE_SIZE) {
+            None => 0,
+            Some(PageRepr::Tag(t)) => t.vfill(),
+            Some(PageRepr::Mat(p)) => p.vbits[(addr % PAGE_SIZE) as usize],
+        }
+    }
+
+    // ---- public API ----------------------------------------------------
 
     /// Marks `[addr, addr+len)` accessible or inaccessible.
     pub fn set_accessible(&mut self, addr: Addr, len: u64, accessible: bool) {
-        for a in addr..addr + len {
-            let p = self.page_mut(a / PAGE_SIZE);
-            let off = (a % PAGE_SIZE) as usize;
-            if accessible {
-                p.abits[off / 8] |= 1 << (off % 8);
+        match self.mode {
+            KernelMode::Reference => {
+                for a in addr..range_end(addr, len) {
+                    let p = self.ref_page_mut(a / PAGE_SIZE);
+                    let off = (a % PAGE_SIZE) as usize;
+                    if accessible {
+                        p.abits[off / 8] |= 1 << (off % 8);
+                    } else {
+                        p.abits[off / 8] &= !(1 << (off % 8));
+                    }
+                }
+            }
+            KernelMode::Word => self.set_accessible_word(addr, len, accessible),
+        }
+    }
+
+    fn set_accessible_word(&mut self, addr: Addr, len: u64, accessible: bool) {
+        for (pno, off, n) in segments(addr, len) {
+            let slot = self.slot_of(pno);
+            let tag = self.tag_of(slot);
+            if n == PAGE {
+                match (tag, accessible) {
+                    (Some(Tag::NoAccess), true) => {
+                        self.slots[slot as usize] = PageRepr::Tag(Tag::Undefined)
+                    }
+                    (Some(_), true) => {} // Undefined/Defined: already accessible
+                    (Some(Tag::Defined), false) => {
+                        // A-bits drop but V-bits stay all-valid — no tag
+                        // represents that state.
+                        self.mat(slot).abits.fill(0x00);
+                    }
+                    (Some(_), false) => self.slots[slot as usize] = PageRepr::Tag(Tag::NoAccess),
+                    (None, on) => {
+                        self.mat(slot).abits.fill(if on { 0xFF } else { 0x00 });
+                    }
+                }
             } else {
-                p.abits[off / 8] &= !(1 << (off % 8));
+                match tag {
+                    Some(t) if t.accessible() == accessible => {} // already uniform
+                    _ => set_bit_range(&mut self.mat(slot).abits, off, off + n, accessible),
+                }
             }
         }
     }
 
     /// Whether the byte at `addr` is accessible.
     pub fn is_accessible(&self, addr: Addr) -> bool {
-        match self.pages.get(&(addr / PAGE_SIZE)) {
-            Some(p) => {
-                let off = (addr % PAGE_SIZE) as usize;
-                p.abits[off / 8] & (1 << (off % 8)) != 0
-            }
-            None => false,
+        match self.mode {
+            KernelMode::Reference => self.ref_is_accessible(addr),
+            KernelMode::Word => match self.find(addr / PAGE_SIZE) {
+                None => false,
+                Some(s) => match &self.slots[s as usize] {
+                    PageRepr::Tag(t) => t.accessible(),
+                    PageRepr::Mat(p) => {
+                        let off = (addr % PAGE_SIZE) as usize;
+                        p.abits[off / 8] & (1 << (off % 8)) != 0
+                    }
+                },
+            },
         }
     }
 
     /// First inaccessible byte in `[addr, addr+len)`, if any.
     pub fn first_inaccessible(&self, addr: Addr, len: u64) -> Option<Addr> {
-        (addr..addr + len).find(|&a| !self.is_accessible(a))
+        match self.mode {
+            KernelMode::Reference => {
+                (addr..range_end(addr, len)).find(|&a| !self.ref_is_accessible(a))
+            }
+            KernelMode::Word => {
+                for (pno, off, n) in segments(addr, len) {
+                    let base = pno * PAGE_SIZE;
+                    match self.find(pno).map(|s| &self.slots[s as usize]) {
+                        None | Some(PageRepr::Tag(Tag::NoAccess)) => {
+                            return Some(base + off as u64)
+                        }
+                        Some(PageRepr::Tag(_)) => {}
+                        Some(PageRepr::Mat(p)) => {
+                            if let Some(i) = find_bit(&p.abits, off, off + n, false) {
+                                return Some(base + i as u64);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// First *accessible* byte in `[addr, addr+len)`, if any — the dual of
+    /// [`ShadowBits::first_inaccessible`], used to skip inaccessible runs
+    /// without a per-byte loop.
+    pub fn first_accessible(&self, addr: Addr, len: u64) -> Option<Addr> {
+        match self.mode {
+            KernelMode::Reference => {
+                (addr..range_end(addr, len)).find(|&a| self.ref_is_accessible(a))
+            }
+            KernelMode::Word => {
+                for (pno, off, n) in segments(addr, len) {
+                    let base = pno * PAGE_SIZE;
+                    match self.find(pno).map(|s| &self.slots[s as usize]) {
+                        None | Some(PageRepr::Tag(Tag::NoAccess)) => {}
+                        Some(PageRepr::Tag(_)) => return Some(base + off as u64),
+                        Some(PageRepr::Mat(p)) => {
+                            if let Some(i) = find_bit(&p.abits, off, off + n, true) {
+                                return Some(base + i as u64);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
     }
 
     /// Marks every bit of `[addr, addr+len)` valid or invalid.
     pub fn set_valid(&mut self, addr: Addr, len: u64, valid: bool) {
-        let fill = if valid { 0xFF } else { 0x00 };
-        for a in addr..addr + len {
-            let p = self.page_mut(a / PAGE_SIZE);
-            p.vbits[(a % PAGE_SIZE) as usize] = fill;
+        match self.mode {
+            KernelMode::Reference => {
+                let fill = if valid { 0xFF } else { 0x00 };
+                for a in addr..range_end(addr, len) {
+                    let p = self.ref_page_mut(a / PAGE_SIZE);
+                    p.vbits[(a % PAGE_SIZE) as usize] = fill;
+                }
+            }
+            KernelMode::Word => self.set_valid_word(addr, len, valid),
+        }
+    }
+
+    fn set_valid_word(&mut self, addr: Addr, len: u64, valid: bool) {
+        for (pno, off, n) in segments(addr, len) {
+            let slot = self.slot_of(pno);
+            let tag = self.tag_of(slot);
+            if n == PAGE {
+                match (tag, valid) {
+                    (Some(Tag::Undefined), true) => {
+                        self.slots[slot as usize] = PageRepr::Tag(Tag::Defined)
+                    }
+                    (Some(Tag::Defined), true) => {}
+                    (Some(Tag::NoAccess), true) => {
+                        // A-bits stay clear but V-bits go valid — no tag.
+                        self.mat(slot).vbits.fill(0xFF);
+                    }
+                    (Some(Tag::Defined), false) => {
+                        self.slots[slot as usize] = PageRepr::Tag(Tag::Undefined)
+                    }
+                    (Some(_), false) => {} // NoAccess/Undefined: already invalid
+                    (None, v) => {
+                        self.mat(slot).vbits.fill(if v { 0xFF } else { 0x00 });
+                    }
+                }
+            } else {
+                match tag {
+                    Some(t) if (t == Tag::Defined) == valid => {} // already uniform
+                    _ => {
+                        let fill = if valid { 0xFF } else { 0x00 };
+                        self.mat(slot).vbits[off..off + n].fill(fill);
+                    }
+                }
+            }
         }
     }
 
     /// The validity mask of the byte at `addr` (bit i set ⇔ bit i valid).
     pub fn vmask(&self, addr: Addr) -> u8 {
-        match self.pages.get(&(addr / PAGE_SIZE)) {
-            Some(p) => p.vbits[(addr % PAGE_SIZE) as usize],
-            None => 0,
+        match self.mode {
+            KernelMode::Reference => self.ref_vmask(addr),
+            KernelMode::Word => match self.find(addr / PAGE_SIZE) {
+                None => 0,
+                Some(s) => match &self.slots[s as usize] {
+                    PageRepr::Tag(t) => t.vfill(),
+                    PageRepr::Mat(p) => p.vbits[(addr % PAGE_SIZE) as usize],
+                },
+            },
         }
     }
 
     /// Sets the validity mask of the byte at `addr`.
     pub fn set_vmask(&mut self, addr: Addr, mask: u8) {
-        self.page_mut(addr / PAGE_SIZE).vbits[(addr % PAGE_SIZE) as usize] = mask;
+        match self.mode {
+            KernelMode::Reference => {
+                self.ref_page_mut(addr / PAGE_SIZE).vbits[(addr % PAGE_SIZE) as usize] = mask;
+            }
+            KernelMode::Word => {
+                let slot = self.slot_of(addr / PAGE_SIZE);
+                match self.tag_of(slot) {
+                    Some(t) if t.vfill() == mask => {} // tag already encodes it
+                    _ => self.mat(slot).vbits[(addr % PAGE_SIZE) as usize] = mask,
+                }
+            }
+        }
     }
 
     /// First byte in `[addr, addr+len)` with any invalid bit, if any.
     pub fn first_invalid(&self, addr: Addr, len: u64) -> Option<Addr> {
-        (addr..addr + len).find(|&a| self.vmask(a) != 0xFF)
-    }
-
-    /// Copies validity masks for `len` bytes from `src` to `dst`
-    /// (realloc's content copy must carry validity along).
-    pub fn copy_valid(&mut self, src: Addr, dst: Addr, len: u64) {
-        // Collect first: src and dst may share pages.
-        let masks: Vec<u8> = (0..len).map(|i| self.vmask(src + i)).collect();
-        for (i, m) in masks.into_iter().enumerate() {
-            self.set_vmask(dst + i as u64, m);
+        match self.mode {
+            KernelMode::Reference => {
+                (addr..range_end(addr, len)).find(|&a| self.ref_vmask(a) != 0xFF)
+            }
+            KernelMode::Word => {
+                for (pno, off, n) in segments(addr, len) {
+                    let base = pno * PAGE_SIZE;
+                    match self.find(pno).map(|s| &self.slots[s as usize]) {
+                        Some(PageRepr::Tag(Tag::Defined)) => {}
+                        None | Some(PageRepr::Tag(_)) => return Some(base + off as u64),
+                        Some(PageRepr::Mat(p)) => {
+                            if let Some(i) = find_byte_not_ff(&p.vbits[off..off + n]) {
+                                return Some(base + (off + i) as u64);
+                            }
+                        }
+                    }
+                }
+                None
+            }
         }
     }
 
-    /// Number of shadow pages materialized (memory-cost proxy for the
-    /// paper's observation that shadow memory is heavyweight).
+    /// First byte in `[addr, addr+len)` whose mask is fully valid (`0xFF`),
+    /// if any — used to skip invalid runs without a per-byte loop.
+    pub fn first_fully_valid(&self, addr: Addr, len: u64) -> Option<Addr> {
+        match self.mode {
+            KernelMode::Reference => {
+                (addr..range_end(addr, len)).find(|&a| self.ref_vmask(a) == 0xFF)
+            }
+            KernelMode::Word => {
+                for (pno, off, n) in segments(addr, len) {
+                    let base = pno * PAGE_SIZE;
+                    match self.find(pno).map(|s| &self.slots[s as usize]) {
+                        Some(PageRepr::Tag(Tag::Defined)) => return Some(base + off as u64),
+                        None | Some(PageRepr::Tag(_)) => {}
+                        Some(PageRepr::Mat(p)) => {
+                            if let Some(i) = find_byte_ff(&p.vbits[off..off + n]) {
+                                return Some(base + (off + i) as u64);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Copies validity masks for `len` bytes from `src` to `dst`
+    /// (realloc's content copy must carry validity along). Overlapping
+    /// ranges behave like `memmove` — the destination receives the
+    /// *original* source masks.
+    pub fn copy_valid(&mut self, src: Addr, dst: Addr, len: u64) {
+        // Clamp so neither range wraps past the top of the address space.
+        let len = len.min(u64::MAX - src).min(u64::MAX - dst);
+        match self.mode {
+            KernelMode::Reference => {
+                // Collect first: src and dst may share pages.
+                let masks: Vec<u8> = (0..len).map(|i| self.ref_vmask(src + i)).collect();
+                for (i, m) in masks.into_iter().enumerate() {
+                    let a = dst + i as u64;
+                    self.ref_page_mut(a / PAGE_SIZE).vbits[(a % PAGE_SIZE) as usize] = m;
+                }
+            }
+            KernelMode::Word => self.copy_valid_word(src, dst, len),
+        }
+    }
+
+    fn copy_valid_word(&mut self, src: Addr, dst: Addr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Direction-aware: only a backward walk preserves memmove semantics
+        // when the destination overlaps the source from above.
+        let backward = dst > src && dst - src < len;
+        let mut tmp = [0u8; PAGE];
+        if backward {
+            let mut i = len;
+            while i > 0 {
+                let s_room = (src + i - 1) % PAGE_SIZE + 1;
+                let d_room = (dst + i - 1) % PAGE_SIZE + 1;
+                let n = s_room.min(d_room).min(i);
+                i -= n;
+                self.copy_valid_chunk(src + i, dst + i, n as usize, &mut tmp);
+            }
+        } else {
+            let mut i = 0;
+            while i < len {
+                let s_room = PAGE_SIZE - (src + i) % PAGE_SIZE;
+                let d_room = PAGE_SIZE - (dst + i) % PAGE_SIZE;
+                let n = s_room.min(d_room).min(len - i);
+                self.copy_valid_chunk(src + i, dst + i, n as usize, &mut tmp);
+                i += n;
+            }
+        }
+    }
+
+    /// Copies `n` vmask bytes; the chunk spans one src page and one dst
+    /// page. Same-page chunks use `copy_within` (memmove); cross-page
+    /// chunks stage through a stack buffer (pages of one `Vec` cannot be
+    /// borrowed mutably and immutably at once) — never a heap allocation.
+    fn copy_valid_chunk(&mut self, s: Addr, d: Addr, n: usize, tmp: &mut [u8; PAGE]) {
+        let (spno, dpno) = (s / PAGE_SIZE, d / PAGE_SIZE);
+        let soff = (s % PAGE_SIZE) as usize;
+        let doff = (d % PAGE_SIZE) as usize;
+        let uniform: Option<u8> = match self.find(spno).map(|x| &self.slots[x as usize]) {
+            None => Some(0x00),
+            Some(PageRepr::Tag(t)) => Some(t.vfill()),
+            Some(PageRepr::Mat(_)) => None,
+        };
+        match uniform {
+            // A distinguished source is a range-set on the destination,
+            // which keeps full destination pages distinguished too.
+            Some(fill) => self.set_valid_word(d, n as u64, fill == 0xFF),
+            None if spno == dpno => {
+                let slot = self.slot_of(spno);
+                self.mat(slot).vbits.copy_within(soff..soff + n, doff);
+            }
+            None => {
+                if let Some(PageRepr::Mat(p)) = self.find(spno).map(|x| &self.slots[x as usize]) {
+                    tmp[..n].copy_from_slice(&p.vbits[soff..soff + n]);
+                }
+                let dslot = self.slot_of(dpno);
+                self.mat(dslot).vbits[doff..doff + n].copy_from_slice(&tmp[..n]);
+            }
+        }
+    }
+
+    /// Number of shadow pages *tracked* — every page ever touched by a
+    /// shadow update, distinguished or materialized. This is the same count
+    /// the byte-at-a-time implementation reports (it materialized a page on
+    /// any touch), so the memory-cost proxy keeps its meaning across kernel
+    /// modes.
     pub fn tracked_pages(&self) -> usize {
-        self.pages.len()
+        self.slots.len()
+    }
+
+    /// Number of pages actually *materialized* (≤ [`tracked_pages`]) — the
+    /// real shadow-memory footprint after distinguished-page compression.
+    ///
+    /// [`tracked_pages`]: ShadowBits::tracked_pages
+    pub fn materialized_pages(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|r| matches!(r, PageRepr::Mat(_)))
+            .count()
     }
 }
 
@@ -189,5 +810,167 @@ mod tests {
         s.copy_valid(100, 102, 4);
         assert_eq!(s.vmask(102), 0xFF);
         assert_eq!(s.vmask(105), 0xFF);
+    }
+
+    #[test]
+    fn copy_valid_overlapping_backward_is_memmove() {
+        for mode in [KernelMode::Word, KernelMode::Reference] {
+            let mut s = ShadowBits::with_mode(mode);
+            // Distinct per-byte masks so ordering mistakes are visible.
+            for i in 0..16u64 {
+                s.set_vmask(1000 + i, 0x10 + i as u8);
+            }
+            s.copy_valid(1000, 1004, 16); // dst overlaps src from above
+            for i in 0..16u64 {
+                assert_eq!(s.vmask(1004 + i), 0x10 + i as u8, "{mode:?} byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_valid_across_page_boundary() {
+        for mode in [KernelMode::Word, KernelMode::Reference] {
+            let mut s = ShadowBits::with_mode(mode);
+            let src = PAGE_SIZE - 100;
+            let dst = 3 * PAGE_SIZE - 17;
+            s.set_valid(src, 200, true);
+            s.set_vmask(src + 150, 0x3C);
+            s.copy_valid(src, dst, 200);
+            assert_eq!(s.first_invalid(dst, 150), None, "{mode:?}");
+            assert_eq!(s.vmask(dst + 150), 0x3C, "{mode:?}");
+            assert_eq!(s.first_invalid(dst, 200), Some(dst + 150), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn distinguished_pages_avoid_materialization() {
+        let mut s = ShadowBits::new();
+        // Three full pages of a big calloc: accessible + valid.
+        s.set_accessible(0, 3 * PAGE_SIZE, true);
+        s.set_valid(0, 3 * PAGE_SIZE, true);
+        assert_eq!(s.tracked_pages(), 3);
+        assert_eq!(s.materialized_pages(), 0, "tags only");
+        assert!(s.is_accessible(2 * PAGE_SIZE + 7));
+        assert_eq!(s.vmask(PAGE_SIZE), 0xFF);
+        assert_eq!(s.first_invalid(0, 3 * PAGE_SIZE), None);
+        assert_eq!(s.first_inaccessible(0, 3 * PAGE_SIZE), None);
+        // A partial write breaks one page's uniformity: copy-on-write.
+        s.set_vmask(PAGE_SIZE + 5, 0x0F);
+        assert_eq!(s.materialized_pages(), 1);
+        assert_eq!(s.vmask(PAGE_SIZE + 5), 0x0F);
+        assert_eq!(s.vmask(PAGE_SIZE + 6), 0xFF, "rest of the page kept");
+        // Freeing the whole span: full pages return to (or stay) tags.
+        s.set_accessible(0, 3 * PAGE_SIZE, false);
+        s.set_valid(0, 3 * PAGE_SIZE, false);
+        assert_eq!(s.first_accessible(0, 3 * PAGE_SIZE), None);
+        assert_eq!(s.tracked_pages(), 3);
+    }
+
+    #[test]
+    fn fresh_malloc_page_stays_distinguished() {
+        let mut s = ShadowBits::new();
+        // malloc: accessible + invalid — Memcheck's UNDEFINED tag.
+        s.set_accessible(0, PAGE_SIZE, true);
+        s.set_valid(0, PAGE_SIZE, false);
+        assert_eq!(s.materialized_pages(), 0);
+        assert!(s.is_accessible(100));
+        assert_eq!(s.vmask(100), 0x00);
+        // Full initialization: Undefined → Defined, still a tag.
+        s.set_valid(0, PAGE_SIZE, true);
+        assert_eq!(s.materialized_pages(), 0);
+        assert_eq!(s.first_invalid(0, PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn first_accessible_and_first_fully_valid_duals() {
+        let mut s = ShadowBits::new();
+        s.set_accessible(100, 10, true);
+        s.set_valid(104, 3, true);
+        assert_eq!(s.first_accessible(0, 200), Some(100));
+        assert_eq!(s.first_accessible(110, 50), None);
+        assert_eq!(s.first_fully_valid(100, 10), Some(104));
+        assert_eq!(s.first_fully_valid(107, 10), None);
+        // Word-scan path: a long valid run far into a page.
+        s.set_valid(1000, 300, true);
+        assert_eq!(s.first_fully_valid(900, 500), Some(1000));
+        assert_eq!(s.first_accessible(900, 500), None, "valid but inaccessible");
+    }
+
+    #[test]
+    fn ranges_near_address_space_top_do_not_overflow() {
+        for mode in [KernelMode::Word, KernelMode::Reference] {
+            let mut s = ShadowBits::with_mode(mode);
+            let a = u64::MAX - 10;
+            s.set_accessible(a, 100, true); // end saturates at u64::MAX
+            s.set_valid(a, 100, true);
+            assert!(s.is_accessible(u64::MAX - 1), "{mode:?}");
+            assert_eq!(s.vmask(u64::MAX - 1), 0xFF, "{mode:?}");
+            assert_eq!(s.first_inaccessible(a, u64::MAX), None, "{mode:?}");
+            assert_eq!(s.first_invalid(a, 100), None, "{mode:?}");
+            assert_eq!(s.first_accessible(a, u64::MAX), Some(a), "{mode:?}");
+            s.copy_valid(a, u64::MAX - 200, u64::MAX); // clamped, no wrap
+            assert_eq!(s.vmask(u64::MAX - 200), 0xFF, "{mode:?}");
+            s.set_accessible(a, u64::MAX, false);
+            assert_eq!(s.first_accessible(a, u64::MAX), None, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn zero_length_ops_touch_nothing() {
+        let mut s = ShadowBits::new();
+        s.set_accessible(0x5000, 0, true);
+        s.set_valid(0x5000, 0, true);
+        s.copy_valid(0x5000, 0x6000, 0);
+        assert_eq!(s.tracked_pages(), 0);
+        assert_eq!(s.first_inaccessible(0x5000, 0), None);
+        assert_eq!(s.first_invalid(0x5000, 0), None);
+    }
+
+    #[test]
+    fn word_scans_find_bits_at_every_alignment() {
+        // Exercise head/word/remainder/tail paths of the scanners.
+        for hole in [0u64, 1, 7, 8, 63, 64, 100, 511, 512, 1000, 4095] {
+            let mut s = ShadowBits::new();
+            s.set_accessible(0, PAGE_SIZE, true);
+            s.set_valid(0, PAGE_SIZE, true);
+            s.set_accessible(hole, 1, false);
+            s.set_vmask(hole, 0xFE);
+            assert_eq!(s.first_inaccessible(0, PAGE_SIZE), Some(hole), "{hole}");
+            assert_eq!(s.first_invalid(0, PAGE_SIZE), Some(hole), "{hole}");
+            assert_eq!(
+                s.first_accessible(hole, PAGE_SIZE - hole), // hole is clear
+                if hole + 1 < PAGE_SIZE {
+                    Some(hole + 1)
+                } else {
+                    None
+                },
+                "{hole}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_mode_matches_word_mode_smoke() {
+        let mut w = ShadowBits::with_mode(KernelMode::Word);
+        let mut r = ShadowBits::with_mode(KernelMode::Reference);
+        for s in [&mut w, &mut r] {
+            s.set_accessible(4000, 300, true); // crosses a page
+            s.set_valid(4000, 300, false);
+            s.set_valid(4050, 100, true);
+            s.set_vmask(4055, 0x0F);
+            s.copy_valid(4000, 4200, 120);
+            s.set_accessible(4100, 20, false);
+        }
+        for a in 3990..4400u64 {
+            assert_eq!(w.is_accessible(a), r.is_accessible(a), "a-bit @{a}");
+            assert_eq!(w.vmask(a), r.vmask(a), "vmask @{a}");
+        }
+        assert_eq!(w.tracked_pages(), r.tracked_pages());
+        assert!(w.materialized_pages() <= r.materialized_pages());
+        assert_eq!(
+            w.first_inaccessible(3990, 400),
+            r.first_inaccessible(3990, 400)
+        );
+        assert_eq!(w.first_invalid(3990, 400), r.first_invalid(3990, 400));
     }
 }

@@ -2,9 +2,10 @@
 //! and what was its allocation context (origin tracking).
 
 use ht_encoding::Ccid;
-use ht_memsim::Addr;
+use ht_memsim::{Addr, FastMap};
 use ht_patch::AllocFn;
-use std::collections::{BTreeMap, HashMap};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// Identity of one heap buffer tracked by the analyzer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,21 +71,70 @@ struct Interval {
     region: Region,
 }
 
+/// One cached interval segment: the last `[start, end)` a lookup resolved.
+#[derive(Debug, Clone, Copy)]
+struct CachedSeg {
+    start: Addr,
+    end: Addr,
+    buf: BufId,
+    region: Region,
+}
+
 /// Interval map from addresses to buffer regions.
 ///
 /// This is the origin-tracking backbone: given a faulting address, the
 /// analyzer asks which buffer (and which part of it) is involved.
-#[derive(Debug, Default)]
+///
+/// Access streams overwhelmingly stay inside one buffer for many
+/// consecutive bytes, so [`HeapMap::lookup`] keeps a one-entry cache of the
+/// last resolved segment and skips the `BTreeMap` range query on a hit.
+/// Every mutation ([`HeapMap::insert`], [`HeapMap::remove`],
+/// [`HeapMap::mark_freed`]) invalidates it.
+#[derive(Debug)]
 pub struct HeapMap {
     intervals: BTreeMap<Addr, Interval>,
-    records: HashMap<BufId, BufRecord>,
+    records: FastMap<BufId, BufRecord>,
     next_id: u64,
+    cache: Cell<Option<CachedSeg>>,
+    cache_enabled: bool,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl Default for HeapMap {
+    fn default() -> Self {
+        Self::with_cache(true)
+    }
 }
 
 impl HeapMap {
-    /// Empty map.
+    /// Empty map (lookup cache enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty map with the lookup cache switched on or off (off reproduces
+    /// the reference baseline: a `BTreeMap` range query per lookup).
+    pub fn with_cache(enabled: bool) -> Self {
+        Self {
+            intervals: BTreeMap::new(),
+            records: FastMap::default(),
+            next_id: 0,
+            cache: Cell::new(None),
+            cache_enabled: enabled,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Lookup-cache `(hits, misses)` counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+
+    #[inline]
+    fn invalidate(&mut self) {
+        self.cache.set(None);
     }
 
     /// Registers a freshly allocated buffer and returns its id.
@@ -139,16 +189,34 @@ impl HeapMap {
             );
         }
         self.records.insert(id, rec);
+        self.invalidate();
         id
     }
 
     /// Which buffer/region covers `addr`, if tracked.
     pub fn lookup(&self, addr: Addr) -> Option<(&BufRecord, Region)> {
-        let (_, iv) = self.intervals.range(..=addr).next_back()?;
+        if self.cache_enabled {
+            if let Some(c) = self.cache.get() {
+                if addr >= c.start && addr < c.end {
+                    self.hits.set(self.hits.get() + 1);
+                    return self.records.get(&c.buf).map(|r| (r, c.region));
+                }
+            }
+            self.misses.set(self.misses.get() + 1);
+        }
+        let (&start, iv) = self.intervals.range(..=addr).next_back()?;
         if addr >= iv.end {
             return None;
         }
         let rec = self.records.get(&iv.buf)?;
+        if self.cache_enabled {
+            self.cache.set(Some(CachedSeg {
+                start,
+                end: iv.end,
+                buf: iv.buf,
+                region: iv.region,
+            }));
+        }
         Some((rec, iv.region))
     }
 
@@ -167,6 +235,7 @@ impl HeapMap {
 
     /// Marks a buffer freed (quarantined).
     pub fn mark_freed(&mut self, id: BufId) {
+        self.invalidate();
         if let Some(r) = self.records.get_mut(&id) {
             r.state = BufState::Freed;
         }
@@ -174,6 +243,7 @@ impl HeapMap {
 
     /// Removes a buffer and its intervals entirely (quarantine eviction).
     pub fn remove(&mut self, id: BufId) -> Option<BufRecord> {
+        self.invalidate();
         let rec = self.records.remove(&id)?;
         for start in [rec.footprint_start(), rec.user, rec.user + rec.size] {
             if let Some(iv) = self.intervals.get(&start) {
@@ -270,6 +340,70 @@ mod tests {
         };
         assert_eq!(r.footprint_start(), 84);
         assert_eq!(r.footprint_end(), 126);
+    }
+
+    #[test]
+    fn lookup_cache_hits_on_repeated_lookups() {
+        let mut m = HeapMap::new();
+        rec(&mut m, 0x1010, 32);
+        assert_eq!(m.cache_stats(), (0, 0));
+        m.lookup(0x1010); // populates the cache (miss)
+        for a in 0x1010..0x1010 + 32 {
+            assert!(m.lookup(a).is_some());
+        }
+        let (hits, misses) = m.cache_stats();
+        assert_eq!(misses, 1, "only the first lookup walks the BTreeMap");
+        assert_eq!(hits, 32);
+        // Outside the cached segment: a miss, then the new segment caches.
+        m.lookup(0x1000);
+        m.lookup(0x1001);
+        let (hits2, misses2) = m.cache_stats();
+        assert_eq!(misses2, 2);
+        assert_eq!(hits2, 33);
+    }
+
+    #[test]
+    fn lookup_cache_invalidated_by_mutations() {
+        let mut m = HeapMap::new();
+        let a = rec(&mut m, 0x1010, 32);
+        m.lookup(0x1010);
+        m.lookup(0x1010);
+        assert_eq!(m.cache_stats().0, 1, "cache warm");
+
+        // mark_freed invalidates: the next lookup misses but must still
+        // resolve (and see the Freed state).
+        m.mark_freed(a);
+        let misses_before = m.cache_stats().1;
+        let (r, _) = m.lookup(0x1010).unwrap();
+        assert_eq!(r.state, BufState::Freed);
+        assert_eq!(
+            m.cache_stats().1,
+            misses_before + 1,
+            "miss after mark_freed"
+        );
+
+        // remove invalidates: the cached segment must not resurrect it.
+        m.lookup(0x1010); // re-warm
+        m.remove(a);
+        assert!(m.lookup(0x1010).is_none(), "stale cache would return it");
+
+        // insert of an overlapping interval invalidates: the same address
+        // must resolve to the *new* buffer, not the cached old segment.
+        let b = rec(&mut m, 0x1010, 8);
+        m.lookup(0x1010);
+        let c = rec(&mut m, 0x1040, 8); // nearby insert also invalidates
+        assert_eq!(m.lookup(0x1010).unwrap().0.id, b);
+        assert_eq!(m.lookup(0x1040).unwrap().0.id, c);
+    }
+
+    #[test]
+    fn disabled_cache_never_counts() {
+        let mut m = HeapMap::with_cache(false);
+        rec(&mut m, 0x1010, 32);
+        for _ in 0..10 {
+            assert!(m.lookup(0x1010).is_some());
+        }
+        assert_eq!(m.cache_stats(), (0, 0));
     }
 
     #[test]

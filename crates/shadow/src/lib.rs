@@ -59,6 +59,6 @@ pub mod heap;
 pub mod warning;
 
 pub use analyzer::{CcidPartition, ShadowBackend, ShadowConfig};
-pub use bits::ShadowBits;
+pub use bits::{KernelMode, ShadowBits};
 pub use heap::{BufId, BufRecord, BufState, HeapMap, Region};
 pub use warning::{Warning, WarningKind};

@@ -1,0 +1,337 @@
+//! Differential property tests pinning the word-level shadow kernels to
+//! the byte-at-a-time reference oracle.
+//!
+//! Two layers:
+//!
+//! * **`ShadowBits`** — random interleaved set/scan/copy op sequences are
+//!   applied to a [`KernelMode::Word`] and a [`KernelMode::Reference`]
+//!   instance in lock-step, in a low address window and in a window
+//!   pressed against `u64::MAX` (the saturating-end regression surface).
+//!   After every mutation the observable state (per-byte A/V queries,
+//!   every `first_*` scan, `tracked_pages`) must be identical.
+//! * **`ShadowBackend`** — random (frequently illegal) heap programs are
+//!   replayed under the fast analyzer and the reference analyzer; the
+//!   warning streams and generated patches must be identical.
+
+use heaptherapy_plus::callgraph::Strategy as SiteStrategy;
+use heaptherapy_plus::encoding::{InstrumentationPlan, Scheme};
+use heaptherapy_plus::memsim::PAGE_SIZE;
+use heaptherapy_plus::patch::AllocFn;
+use heaptherapy_plus::shadow::{KernelMode, ShadowBackend, ShadowBits, ShadowConfig};
+use heaptherapy_plus::simprog::{Expr, Interpreter, Program, ProgramBuilder, Sink, SlotId};
+use proptest::prelude::*;
+
+/// The op windows span 5 pages (plus room for ranges to run past the top).
+const SPAN: u64 = 5 * PAGE_SIZE;
+
+/// One `ShadowBits` mutation, expressed as window-relative offsets.
+#[derive(Debug, Clone, Copy)]
+enum BitsOp {
+    SetAccessible { off: u32, len: u32, on: bool },
+    SetValid { off: u32, len: u32, on: bool },
+    SetVmask { off: u32, mask: u8 },
+    CopyValid { src: u32, dst: u32, len: u32 },
+}
+
+fn arb_bits_ops() -> impl Strategy<Value = Vec<BitsOp>> {
+    let off = || 0u32..SPAN as u32;
+    // Lengths biased small but occasionally page-crossing/full-window (the
+    // distinguished-page and saturating-end paths need multi-page ranges).
+    let len = || prop_oneof![0u32..128, 3500u32..9000, 0u32..2 * SPAN as u32];
+    let op = prop_oneof![
+        (off(), len(), any::<bool>()).prop_map(|(off, len, on)| BitsOp::SetAccessible {
+            off,
+            len,
+            on
+        }),
+        (off(), len(), any::<bool>()).prop_map(|(off, len, on)| BitsOp::SetValid { off, len, on }),
+        (off(), any::<u8>()).prop_map(|(off, mask)| BitsOp::SetVmask { off, mask }),
+        (off(), off(), len()).prop_map(|(src, dst, len)| BitsOp::CopyValid { src, dst, len }),
+    ];
+    proptest::collection::vec(op, 1..24)
+}
+
+fn apply(s: &mut ShadowBits, base: u64, op: BitsOp) {
+    // `base + off` cannot wrap: both windows keep base + SPAN ≤ u64::MAX,
+    // and offsets stay below SPAN. Lengths MAY run past u64::MAX — that is
+    // the saturating-end path under test.
+    match op {
+        BitsOp::SetAccessible { off, len, on } => {
+            s.set_accessible(base + off as u64, len as u64, on)
+        }
+        BitsOp::SetValid { off, len, on } => s.set_valid(base + off as u64, len as u64, on),
+        BitsOp::SetVmask { off, mask } => s.set_vmask(base + off as u64, mask),
+        BitsOp::CopyValid { src, dst, len } => {
+            s.copy_valid(base + src as u64, base + dst as u64, len as u64)
+        }
+    }
+}
+
+/// Compares every observable of the two instances over the window.
+fn assert_same_state(word: &ShadowBits, reference: &ShadowBits, base: u64, step: usize) {
+    // Scans over the whole window and a handful of sub-ranges.
+    let probes: [(u64, u64); 5] = [
+        (base, SPAN),
+        (base + 1, SPAN / 2),
+        (base + PAGE_SIZE - 3, 7),
+        (base + SPAN - 100, 200), // runs past the window; saturates up high
+        (base + 4097, 8191),
+    ];
+    for (a, l) in probes {
+        assert_eq!(
+            word.first_inaccessible(a, l),
+            reference.first_inaccessible(a, l),
+            "step {step}: first_inaccessible({a:#x}, {l})"
+        );
+        assert_eq!(
+            word.first_accessible(a, l),
+            reference.first_accessible(a, l),
+            "step {step}: first_accessible({a:#x}, {l})"
+        );
+        assert_eq!(
+            word.first_invalid(a, l),
+            reference.first_invalid(a, l),
+            "step {step}: first_invalid({a:#x}, {l})"
+        );
+        assert_eq!(
+            word.first_fully_valid(a, l),
+            reference.first_fully_valid(a, l),
+            "step {step}: first_fully_valid({a:#x}, {l})"
+        );
+    }
+    // Per-byte observables across the full window.
+    for off in 0..SPAN {
+        let a = base + off;
+        assert_eq!(
+            word.vmask(a),
+            reference.vmask(a),
+            "step {step}: vmask({a:#x})"
+        );
+        assert_eq!(
+            word.is_accessible(a),
+            reference.is_accessible(a),
+            "step {step}: is_accessible({a:#x})"
+        );
+    }
+    // The memory proxy Fig. 9 semantics rest on.
+    assert_eq!(
+        word.tracked_pages(),
+        reference.tracked_pages(),
+        "step {step}: tracked_pages"
+    );
+    assert!(
+        word.materialized_pages() <= word.tracked_pages(),
+        "step {step}: distinguished pages cannot exceed tracked pages"
+    );
+}
+
+fn run_differential(ops: &[BitsOp], base: u64) {
+    let mut word = ShadowBits::with_mode(KernelMode::Word);
+    let mut reference = ShadowBits::with_mode(KernelMode::Reference);
+    for (step, &op) in ops.iter().enumerate() {
+        apply(&mut word, base, op);
+        apply(&mut reference, base, op);
+        assert_same_state(&word, &reference, base, step);
+    }
+}
+
+// ---- backend-level differential -----------------------------------------
+
+/// One generated heap operation; legality is NOT enforced (dangling frees,
+/// overflowing extents, uninitialized reads are the point).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alloc {
+        slot: u8,
+        api: u8,
+        size: u16,
+    },
+    Free {
+        slot: u8,
+    },
+    FreeClear {
+        slot: u8,
+    },
+    Realloc {
+        slot: u8,
+        size: u16,
+    },
+    Write {
+        slot: u8,
+        off: u16,
+        len: u16,
+    },
+    Read {
+        slot: u8,
+        off: u16,
+        len: u16,
+        sink: u8,
+    },
+    Copy {
+        src: u8,
+        dst: u8,
+        len: u16,
+    },
+}
+
+const SLOTS: usize = 4;
+const INPUT: [u64; 2] = [500, 77];
+
+fn arb_prog_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (any::<u8>(), any::<u8>(), 1u16..600).prop_map(|(slot, api, size)| Op::Alloc {
+            slot,
+            api,
+            size
+        }),
+        any::<u8>().prop_map(|slot| Op::Free { slot }),
+        any::<u8>().prop_map(|slot| Op::FreeClear { slot }),
+        (any::<u8>(), 1u16..600).prop_map(|(slot, size)| Op::Realloc { slot, size }),
+        (any::<u8>(), 0u16..700, 0u16..700).prop_map(|(slot, off, len)| Op::Write {
+            slot,
+            off,
+            len
+        }),
+        (any::<u8>(), 0u16..700, 0u16..700, any::<u8>()).prop_map(|(slot, off, len, sink)| {
+            Op::Read {
+                slot,
+                off,
+                len,
+                sink,
+            }
+        }),
+        (any::<u8>(), any::<u8>(), 0u16..700).prop_map(|(src, dst, len)| Op::Copy {
+            src,
+            dst,
+            len
+        }),
+    ];
+    proptest::collection::vec(op, 1..32)
+}
+
+fn materialize(ops: &[Op]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.entry();
+    let slots: Vec<SlotId> = pb.slots(SLOTS as u32);
+    let chunks: Vec<&[Op]> = ops.chunks(4).collect();
+    let mut funcs = Vec::new();
+    for (ci, chunk) in chunks.iter().enumerate() {
+        let f = pb.func(format!("part_{ci}"));
+        funcs.push(f);
+        pb.define(f, |b| {
+            for &op in *chunk {
+                match op {
+                    Op::Alloc { slot, api, size } => {
+                        let s = slots[slot as usize % SLOTS];
+                        match api % 4 {
+                            0 => b.alloc(s, AllocFn::Malloc, size as u64),
+                            1 => b.alloc(s, AllocFn::Calloc, size as u64),
+                            2 => b.memalign(s, 1u64 << (api % 5 + 4), size as u64),
+                            _ => b.realloc(s, size as u64),
+                        }
+                    }
+                    Op::Free { slot } => b.free(slots[slot as usize % SLOTS]),
+                    Op::FreeClear { slot } => {
+                        let s = slots[slot as usize % SLOTS];
+                        b.free(s);
+                        b.clear(s);
+                    }
+                    Op::Realloc { slot, size } => {
+                        b.realloc(slots[slot as usize % SLOTS], size as u64)
+                    }
+                    Op::Write { slot, off, len } => {
+                        let len_expr = if len % 5 == 0 {
+                            Expr::Input(len as usize % INPUT.len())
+                        } else {
+                            Expr::from(len as u64)
+                        };
+                        b.write(slots[slot as usize % SLOTS], off as u64, len_expr, 0x42);
+                    }
+                    Op::Read {
+                        slot,
+                        off,
+                        len,
+                        sink,
+                    } => {
+                        let sink = match sink % 5 {
+                            0 => Sink::Discard,
+                            1 => Sink::Branch,
+                            2 => Sink::Addr,
+                            3 => Sink::Syscall,
+                            _ => Sink::Leak,
+                        };
+                        b.read(slots[slot as usize % SLOTS], off as u64, len as u64, sink);
+                    }
+                    Op::Copy { src, dst, len } => {
+                        let si = src as usize % SLOTS;
+                        let di = dst as usize % SLOTS;
+                        if si != di {
+                            b.copy(slots[si], 0u64, slots[di], 0u64, len as u64);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    pb.define(main, |b| {
+        for &f in &funcs {
+            b.call(f);
+        }
+    });
+    pb.build()
+}
+
+fn backend(reference_kernels: bool) -> ShadowBackend {
+    ShadowBackend::with_config(ShadowConfig {
+        reference_kernels,
+        ..ShadowConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word kernels and the byte-at-a-time oracle agree on every
+    /// observable, low in the address space.
+    #[test]
+    fn bits_word_matches_reference_low_window(ops in arb_bits_ops()) {
+        run_differential(&ops, 0);
+    }
+
+    /// Same, with the window pressed against `u64::MAX` so range ends
+    /// saturate instead of overflowing (the satellite-1 regression).
+    #[test]
+    fn bits_word_matches_reference_high_window(ops in arb_bits_ops()) {
+        run_differential(&ops, u64::MAX - SPAN);
+    }
+
+    /// The full analyzer produces identical warning streams and patches in
+    /// both kernel modes on random (mostly illegal) heap programs.
+    #[test]
+    fn analyzer_warning_streams_identical(ops in arb_prog_ops()) {
+        let prog = materialize(&ops);
+        let plan = InstrumentationPlan::build(prog.graph(), SiteStrategy::Incremental, Scheme::Pcc);
+
+        let mut fast = Interpreter::new(&prog, &plan, backend(false));
+        let fast_report = fast.run(&INPUT);
+        let fast_backend = fast.into_backend();
+
+        let mut slow = Interpreter::new(&prog, &plan, backend(true));
+        let slow_report = slow.run(&INPUT);
+        let slow_backend = slow.into_backend();
+
+        prop_assert_eq!(
+            fast_backend.warnings(),
+            slow_backend.warnings(),
+            "warning streams diverge"
+        );
+        prop_assert_eq!(
+            fast_backend.generate_patches("prop"),
+            slow_backend.generate_patches("prop"),
+            "patches diverge"
+        );
+        prop_assert_eq!(fast_report.bytes_written, slow_report.bytes_written);
+        prop_assert_eq!(fast_report.bytes_read, slow_report.bytes_read);
+        prop_assert_eq!(fast_report.frees, slow_report.frees);
+    }
+}
