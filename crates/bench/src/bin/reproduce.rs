@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the HeapTherapy+ evaluation.
 //!
 //! ```text
-//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations|scaling|shadow]
+//! reproduce [all|fig2|table1|table2|lint|table3|table4|encoding|fig8|fig9|services|ablations|scaling|shadow|telemetry]
 //!           [--allocs N] [--samples N] [--requests N] [--threads N]
 //!           [--pairs N] [--repeat N] [--reference-kernels] [--json PATH]
 //! ```
@@ -12,7 +12,7 @@
 
 use ht_bench::{
     ablation, encoding, fig2, fig8, fig9, lint, scaling, services, shadow, table1, table2, table3,
-    table4,
+    table4, telemetry,
 };
 
 struct Opts {
@@ -322,18 +322,26 @@ fn run_ablations(opts: &Opts) {
 fn run_scaling(opts: &Opts) {
     header("Scaling — multi-threaded allocation throughput (Mops/s, alloc+free pairs)");
     println!(
-        "{:<8} {:>12} {:>12} {:>14} {:>16}",
-        "threads", "native", "interpose", "hardened(5p)", "hardened/native"
+        "{:<8} {:>12} {:>12} {:>14} {:>14} {:>16} {:>15}",
+        "threads",
+        "native",
+        "interpose",
+        "hardened(5p)",
+        "telemetry(5p)",
+        "hardened/native",
+        "telem/hardened"
     );
     let rows = scaling::rows(opts.threads, opts.pairs);
     for r in &rows {
         println!(
-            "{:<8} {:>12.3} {:>12.3} {:>14.3} {:>15.2}x",
+            "{:<8} {:>12.3} {:>12.3} {:>14.3} {:>14.3} {:>15.2}x {:>14.2}x",
             r.threads,
             r.native_ops / 1e6,
             r.interpose_ops / 1e6,
             r.hardened_ops / 1e6,
-            r.hardened_vs_native()
+            r.telemetry_ops / 1e6,
+            r.hardened_vs_native(),
+            r.telemetry_vs_hardened()
         );
     }
     println!(
@@ -394,6 +402,29 @@ fn run_shadow(opts: &Opts) {
     println!("(distinguished pages + word scans + last-page/interval caches; both modes emit identical warnings)");
     if let Some(path) = &opts.json {
         let j = shadow::to_json(&report, opts.samples, opts.repeat);
+        std::fs::write(path, j.to_pretty() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+fn run_telemetry(opts: &Opts) {
+    header("Telemetry — one-time attack reports across the Table II corpus (§VII)");
+    let rows = telemetry::rows(opts.threads);
+    for t in &rows {
+        println!("{}", telemetry::table_row(t));
+    }
+    println!("\n{}", telemetry::summary(&rows));
+    if let Some((app, sample)) = rows
+        .iter()
+        .find_map(|t| t.reports.first().map(|r| (&t.app, r)))
+    {
+        println!("\nsample report ({app}):");
+        print!("{sample}");
+    }
+    println!("(each report fires exactly once per (FUN, CCID, T); contexts decoded from the CCID)");
+    if let Some(path) = &opts.json {
+        let j = telemetry::to_json(&rows);
         std::fs::write(path, j.to_pretty() + "\n")
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");
@@ -465,6 +496,7 @@ fn main() {
         "ablations" => run_ablations(&opts),
         "scaling" => run_scaling(&opts),
         "shadow" => run_shadow(&opts),
+        "telemetry" => run_telemetry(&opts),
         "extras" => run_extras(),
         "all" => {
             run_fig2();
@@ -484,7 +516,7 @@ fn main() {
             eprintln!(
                 "unknown target `{other}`; expected one of all, fig2, table1, table2, \
                  table3, table4, encoding, fig8, fig9, services, ablations, lint, scaling, \
-                 shadow"
+                 shadow, telemetry"
             );
             std::process::exit(2);
         }

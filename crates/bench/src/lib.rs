@@ -22,6 +22,7 @@
 //! | [`lint`] | static triage — static-vs-dynamic agreement on the Table II suite |
 //! | [`scaling`] | multi-threaded allocation-throughput scaling (not in the paper) |
 //! | [`shadow`] | offline-replay kernel throughput, word vs. reference (not in the paper) |
+//! | [`telemetry`] | §VII — one-time attack reports across the Table II corpus |
 
 pub mod ablation;
 pub mod encoding;
@@ -36,6 +37,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod telemetry;
 
 use std::time::Instant;
 
@@ -54,7 +56,14 @@ pub fn time_median<F: FnMut()>(n: usize, mut f: F) -> f64 {
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    // True median: even-length samples average the two middle elements
+    // (indexing `len / 2` alone would bias toward the slower half).
+    let mid = samples.len() / 2;
+    if samples.len().is_multiple_of(2) {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
 }
 
 /// Percent overhead of `x` over baseline `base`.
@@ -63,4 +72,67 @@ pub fn overhead_pct(base: f64, x: f64) -> f64 {
         return 0.0;
     }
     100.0 * (x - base) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// A closure whose i-th invocation sleeps `schedule[i]` milliseconds
+    /// (cycling), so the sorted sample vector is fully deterministic in
+    /// *rank order* even if absolute timings jitter.
+    fn staged(schedule: &'static [u64]) -> (impl FnMut(), std::rc::Rc<Cell<usize>>) {
+        let calls = std::rc::Rc::new(Cell::new(0usize));
+        let c = calls.clone();
+        let f = move || {
+            let i = c.get();
+            c.set(i + 1);
+            std::thread::sleep(std::time::Duration::from_millis(
+                schedule[i % schedule.len()],
+            ));
+        };
+        (f, calls)
+    }
+
+    #[test]
+    fn warm_up_iteration_is_excluded_from_samples() {
+        // Warm-up call is the first (index 0, 50 ms); the n=2 measured
+        // calls sleep 1 ms each. If the warm-up leaked into the samples the
+        // median would exceed 25 ms.
+        let (f, calls) = staged(&[50, 1, 1]);
+        let m = time_median(2, f);
+        assert_eq!(calls.get(), 3, "one warm-up + two measured");
+        assert!(m < 0.025, "median {m} polluted by warm-up");
+    }
+
+    #[test]
+    fn even_n_averages_the_two_middle_samples() {
+        // Measured sleeps (after 1 warm-up): 0, 0, 40, 40 ms → sorted the
+        // middle pair is (0 ms, 40 ms); the median must land near 20 ms.
+        // The old upper-middle indexing returned ~40 ms.
+        let (f, _) = staged(&[0, 0, 0, 40, 40]);
+        let m = time_median(4, f);
+        assert!(m > 0.010, "median {m} ignored the upper middle sample");
+        assert!(
+            m < 0.035,
+            "median {m} is the upper element, not the midpoint"
+        );
+    }
+
+    #[test]
+    fn odd_n_returns_the_middle_sample() {
+        let (f, _) = staged(&[0, 0, 20, 0, 0]);
+        // Measured: 0, 20, 0 ms → median is the 0/20/0 middle, i.e. 0 ms
+        // after sorting ([0, 0, 20] → 0). Must stay well under 10 ms.
+        let m = time_median(3, f);
+        assert!(m < 0.010, "odd-length median {m} not the middle element");
+    }
+
+    #[test]
+    fn overhead_pct_basics() {
+        assert_eq!(overhead_pct(2.0, 3.0), 50.0);
+        assert_eq!(overhead_pct(0.0, 3.0), 0.0);
+        assert_eq!(overhead_pct(4.0, 3.0), -25.0);
+    }
 }

@@ -7,14 +7,17 @@
 //! and quarantine are sharded), so throughput should scale with threads
 //! like the native allocator does.
 //!
-//! Three series, each at 1/2/4/8 threads (capped by `--threads`):
+//! Four series, each at 1/2/4/8 threads (capped by `--threads`):
 //!
 //! * **native** — the system allocator, the ceiling,
 //! * **interpose** — [`HardenedAlloc`] with an empty patch table (the
 //!   paper's "interposition only" bar),
 //! * **hardened** — [`HardenedAlloc`] with 5 patches installed and frozen,
 //!   one patched context exercised every 64th allocation (guard page +
-//!   registry + quarantine traffic on the patched slice).
+//!   registry + quarantine traffic on the patched slice),
+//! * **hardened+telemetry** — the same configuration with attack telemetry
+//!   armed (event ring + striped per-patch counters), probing the claim
+//!   that telemetry-off costs nothing and telemetry-on stays within noise.
 //!
 //! Workers start behind a [`Barrier`] and time only their own work loop, so
 //! thread-spawn cost is excluded; a series' wall time is the slowest
@@ -46,6 +49,8 @@ pub struct ScalingRow {
     pub interpose_ops: f64,
     /// 5-patch frozen-table hardened-allocator pairs/sec.
     pub hardened_ops: f64,
+    /// The hardened series with attack telemetry armed.
+    pub telemetry_ops: f64,
 }
 
 impl ScalingRow {
@@ -56,6 +61,20 @@ impl ScalingRow {
         }
         self.hardened_ops / self.native_ops
     }
+
+    /// Telemetry-armed throughput relative to the telemetry-off hardened
+    /// series (1.0 = telemetry is free).
+    pub fn telemetry_vs_hardened(&self) -> f64 {
+        if self.hardened_ops <= 0.0 {
+            return 0.0;
+        }
+        self.telemetry_ops / self.hardened_ops
+    }
+}
+
+/// A heap-allocated empty-table allocator (the "interpose" configuration).
+fn empty_alloc() -> Box<HardenedAlloc> {
+    Box::new(HardenedAlloc::new())
 }
 
 /// The thread counts a `--threads max` run exercises.
@@ -86,8 +105,12 @@ fn run_series<F: Fn(usize) -> u64 + Sync>(n: usize, work: F) -> f64 {
 
 /// A hardened allocator with the 5 scaling patches installed and the table
 /// frozen (the configuration the "hardened" series runs against).
-pub fn patched_alloc() -> HardenedAlloc {
-    let a = HardenedAlloc::new();
+///
+/// Boxed: a `HardenedAlloc` embeds its sharded tables, event ring, and
+/// striped counters (~430 KiB), which in unoptimized builds would otherwise
+/// occupy a fresh stack slot per temporary.
+pub fn patched_alloc() -> Box<HardenedAlloc> {
+    let a = empty_alloc();
     let patches: Vec<PatchEntry> = PATCHED_SITES
         .iter()
         .map(|&site| {
@@ -108,10 +131,10 @@ pub fn patched_alloc() -> HardenedAlloc {
 /// [`thread_counts`]`(max_threads)`, `pairs_per_thread` allocate–touch–free
 /// round trips per worker.
 pub fn rows(max_threads: usize, pairs_per_thread: u64) -> Vec<ScalingRow> {
-    // Boxed: a HardenedAlloc embeds its fixed-size sharded tables (~¼ MiB),
-    // which in unoptimized builds would otherwise stack several copies deep.
-    let interpose = Box::new(HardenedAlloc::new());
-    let hardened = Box::new(patched_alloc());
+    let interpose = empty_alloc();
+    let hardened = patched_alloc();
+    let telemetry = patched_alloc();
+    telemetry.set_telemetry(true);
     thread_counts(max_threads)
         .into_iter()
         .map(|n| {
@@ -130,11 +153,23 @@ pub fn rows(max_threads: usize, pairs_per_thread: u64) -> Vec<ScalingRow> {
                     PATCHED_EVERY,
                 )
             });
+            let telemetry_ops = run_series(n, |i| {
+                throughput::hardened_pairs(
+                    &telemetry,
+                    pairs_per_thread,
+                    ALLOC_SIZE,
+                    Some(PATCHED_SITES[i % PATCHED_SITES.len()]),
+                    PATCHED_EVERY,
+                )
+            });
+            // Keep the ring from saturating its drop counter across rows.
+            telemetry.drain_events();
             ScalingRow {
                 threads: n,
                 native_ops,
                 interpose_ops,
                 hardened_ops,
+                telemetry_ops,
             }
         })
         .collect()
@@ -157,6 +192,7 @@ pub fn to_json(rows: &[ScalingRow], pairs_per_thread: u64) -> Json {
                             ("native_ops".into(), Json::U64(r.native_ops as u64)),
                             ("interpose_ops".into(), Json::U64(r.interpose_ops as u64)),
                             ("hardened_ops".into(), Json::U64(r.hardened_ops as u64)),
+                            ("telemetry_ops".into(), Json::U64(r.telemetry_ops as u64)),
                         ])
                     })
                     .collect(),
@@ -186,7 +222,20 @@ mod tests {
             assert!(r.native_ops > 0.0, "{r:?}");
             assert!(r.interpose_ops > 0.0, "{r:?}");
             assert!(r.hardened_ops > 0.0, "{r:?}");
+            assert!(r.telemetry_ops > 0.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_series_records_its_patch_hits() {
+        let a = patched_alloc();
+        a.set_telemetry(true);
+        throughput::hardened_pairs(&a, 128, ALLOC_SIZE, Some(PATCHED_SITES[0]), PATCHED_EVERY);
+        let snap = a.telemetry_snapshot();
+        assert!(
+            snap.per_patch.iter().any(|p| p.hits > 0),
+            "patched slice of the workload was counted: {snap:?}"
+        );
     }
 
     #[test]
@@ -211,6 +260,7 @@ mod tests {
             native_ops: 1234.7,
             interpose_ops: 1000.2,
             hardened_ops: 900.9,
+            telemetry_ops: 880.0,
         }];
         let j = to_json(&rs, 500);
         let parsed = Json::parse(&j.to_pretty()).expect("self-emitted JSON parses");

@@ -47,6 +47,7 @@ pub mod report;
 
 pub use lint::{LintReport, PlanVerdict};
 pub use pipeline::{
-    AnalysisReport, CycleReport, HeapTherapy, InstrumentedProgram, PipelineConfig, ProtectedRun,
+    AnalysisReport, AppTelemetry, CycleReport, HeapTherapy, InstrumentedProgram, PipelineConfig,
+    ProtectedRun,
 };
-pub use report::{incident_report, IncidentReport, PatchReport};
+pub use report::{decode_chain, incident_report, IncidentReport, PatchReport};

@@ -6,7 +6,9 @@ use ht_encoding::{InstrumentationPlan, Scheme};
 use ht_patch::{from_config_text, to_config_text, AllocFn, Patch, PatchTable, VulnFlags};
 use ht_shadow::{ShadowBackend, ShadowConfig, Warning};
 use ht_simprog::{Interpreter, Limits, PlainBackend, Program, RunReport};
+use ht_telemetry::{AttackReport, PatchCounterRow, TelemetryConfig, TelemetrySnapshot, Timeline};
 use ht_vulnapps::VulnApp;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Pipeline-wide configuration.
@@ -23,6 +25,9 @@ pub struct PipelineConfig {
     pub defense_quota: u64,
     /// Interpreter limits for every run.
     pub limits: Limits,
+    /// Runtime attack telemetry for protected runs (disabled by default —
+    /// the online hot path pays nothing when off).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PipelineConfig {
@@ -33,6 +38,7 @@ impl Default for PipelineConfig {
             shadow: ShadowConfig::default(),
             defense_quota: 2 * 1024 * 1024 * 1024,
             limits: Limits::default(),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -65,6 +71,8 @@ pub struct ProtectedRun {
     pub report: RunReport,
     /// Defense-side counters.
     pub stats: DefenseStats,
+    /// Drained telemetry, when [`PipelineConfig::telemetry`] enabled it.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Verdict of a full patch-generation/deployment cycle on one vulnerable
@@ -115,6 +123,72 @@ impl CycleReport {
 impl fmt::Display for CycleReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.table_row())
+    }
+}
+
+/// Runtime telemetry gathered from protected replays of one application's
+/// inputs — the observable side of the paper's Section VII "attack gets
+/// reported" claim, plus offline phase timings.
+#[derive(Debug, Clone)]
+pub struct AppTelemetry {
+    /// Application name.
+    pub app: String,
+    /// CVE / dataset reference.
+    pub reference: String,
+    /// One report per distinct `(FUN, CCID, T)` across all inputs, in
+    /// first-activation order, call chains decoded when the encoding scheme
+    /// permits (allocation site first).
+    pub reports: Vec<AttackReport>,
+    /// Per-patch hit/byte counters summed across inputs.
+    pub per_patch: Vec<PatchCounterRow>,
+    /// Events accepted by the rings across all runs.
+    pub delivered: u64,
+    /// Events lost to ring overflow across all runs.
+    pub dropped: u64,
+    /// Wall-clock spans of the offline phases and the protected replays.
+    pub timeline: Timeline,
+}
+
+impl fmt::Display for AppTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "app     : {} ({})", self.app, self.reference)?;
+        writeln!(
+            f,
+            "events  : {} delivered, {} dropped",
+            self.delivered, self.dropped
+        )?;
+        for row in &self.per_patch {
+            writeln!(
+                f,
+                "patch   : {{{}, {:#x}, {}}}  hits={} bytes={}",
+                row.fun, row.ccid, row.vuln, row.hits, row.bytes
+            )?;
+        }
+        for r in &self.reports {
+            write!(f, "{r}")?;
+        }
+        write!(f, "{}", self.timeline)
+    }
+}
+
+impl ht_jsonio::ToJson for AppTelemetry {
+    fn to_json(&self) -> ht_jsonio::Json {
+        use ht_jsonio::{obj, Json, ToJson};
+        obj([
+            ("app", Json::Str(self.app.clone())),
+            ("reference", Json::Str(self.reference.clone())),
+            (
+                "reports",
+                Json::Arr(self.reports.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "per_patch",
+                Json::Arr(self.per_patch.iter().map(ToJson::to_json).collect()),
+            ),
+            ("delivered", Json::U64(self.delivered)),
+            ("dropped", Json::U64(self.dropped)),
+            ("phases", self.timeline.to_json()),
+        ])
     }
 }
 
@@ -181,6 +255,7 @@ impl HeapTherapy {
         ProtectedRun {
             report,
             stats: interp.backend().stats(),
+            telemetry: None,
         }
     }
 
@@ -214,13 +289,16 @@ impl HeapTherapy {
     ) -> ProtectedRun {
         let mut cfg = DefenseConfig::with_table(PatchTable::from_patches(patches.to_vec()));
         cfg.quarantine_quota = self.cfg.defense_quota;
+        cfg.telemetry = self.cfg.telemetry;
         let backend = DefendedBackend::new(cfg);
         let mut interp =
             Interpreter::new(ip.program, &ip.plan, backend).with_limits(self.cfg.limits);
         let report = interp.run(input);
+        let mut backend = interp.into_backend();
         ProtectedRun {
             report,
-            stats: interp.backend().stats(),
+            stats: backend.stats(),
+            telemetry: backend.telemetry_snapshot(),
         }
     }
 
@@ -337,6 +415,81 @@ impl HeapTherapy {
             .into_iter()
             .map(|(fun, ccid)| Patch::new(fun, ccid, VulnFlags::OVERFLOW))
             .collect()
+    }
+
+    /// Generates patches offline, then replays every input protected with
+    /// telemetry armed, aggregating the one-time attack reports, per-patch
+    /// counters, and phase wall-clock.
+    ///
+    /// Each replay is an independent process image (fresh backend, fresh
+    /// once-bits), so reports are deduplicated across runs: the result holds
+    /// exactly one report per distinct `(FUN, CCID, T)` that activated.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::full_cycle`].
+    pub fn attack_telemetry(&self, app: &VulnApp) -> Result<AppTelemetry, PipelineError> {
+        let mut tl = Timeline::new();
+        let ip = tl.time("instrument", || self.instrument(&app.program));
+        let analysis = tl.time("analyze", || {
+            self.analyze_attack(&ip, app.patching_input(), &app.reference)
+        });
+        if analysis.patches.is_empty() {
+            return Err(PipelineError::NoPatchesGenerated(app.name.clone()));
+        }
+        let deployed = tl
+            .time("patch-gen", || {
+                from_config_text(&to_config_text(&analysis.patches))
+            })
+            .map_err(|e| PipelineError::ConfigRoundTrip(e.to_string()))?;
+
+        let mut armed = self.clone();
+        armed.cfg.telemetry = TelemetryConfig::enabled();
+        let mut reports: Vec<AttackReport> = Vec::new();
+        let mut per_patch: BTreeMap<usize, PatchCounterRow> = BTreeMap::new();
+        let (mut delivered, mut dropped) = (0u64, 0u64);
+        tl.time("protected", || {
+            for input in app.attack_inputs.iter().chain(&app.benign_inputs) {
+                let run = armed.run_protected(&ip, input, &deployed);
+                let Some(snap) = run.telemetry else { continue };
+                delivered += snap.delivered;
+                dropped += snap.dropped;
+                for mut r in snap.reports {
+                    let fresh = !reports
+                        .iter()
+                        .any(|x| (x.fun, x.ccid, x.vuln) == (r.fun, r.ccid, r.vuln));
+                    if fresh {
+                        r.call_chain = crate::report::decode_chain(&ip, r.fun, r.ccid)
+                            .map(|mut chain| {
+                                // Attack reports list the allocation site
+                                // first (innermost frame at #0).
+                                chain.reverse();
+                                chain
+                            })
+                            .unwrap_or_default();
+                        reports.push(r);
+                    }
+                }
+                for row in snap.per_patch {
+                    per_patch
+                        .entry(row.slot)
+                        .and_modify(|e| {
+                            e.hits += row.hits;
+                            e.bytes += row.bytes;
+                        })
+                        .or_insert(row);
+                }
+            }
+        });
+        Ok(AppTelemetry {
+            app: app.name.clone(),
+            reference: app.reference.clone(),
+            reports,
+            per_patch: per_patch.into_values().collect(),
+            delivered,
+            dropped,
+            timeline: tl,
+        })
     }
 
     /// The full Table II cycle for one vulnerable application.
@@ -589,6 +742,89 @@ mod tests {
         let (patches, rounds) = ht().iterative_cycle(&app, 5).unwrap();
         assert_eq!(rounds, 0);
         assert!(patches.is_empty());
+    }
+
+    #[test]
+    fn attack_telemetry_files_one_report_per_fun_ccid_t() {
+        for app in [
+            ht_vulnapps::bc(),
+            ht_vulnapps::heartbleed(),
+            ht_vulnapps::optipng(),
+        ] {
+            let tel = ht().attack_telemetry(&app).unwrap();
+            assert!(!tel.reports.is_empty(), "{}: defense fired", app.name);
+            let mut keys: Vec<_> = tel
+                .reports
+                .iter()
+                .map(|r| (r.fun, r.ccid, r.vuln))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(
+                keys.len(),
+                tel.reports.len(),
+                "{}: exactly one report per (FUN, CCID, T)",
+                app.name
+            );
+            // Every report's vuln bit is a single T.
+            for r in &tel.reports {
+                assert_eq!(r.vuln.bits().count_ones(), 1, "{}: {r:?}", app.name);
+            }
+            assert!(tel.per_patch.iter().all(|p| p.hits > 0));
+            assert!(tel.delivered > 0);
+            for phase in ["instrument", "analyze", "patch-gen", "protected"] {
+                assert!(tel.timeline.get(phase).is_some(), "{phase} span recorded");
+            }
+        }
+    }
+
+    #[test]
+    fn attack_telemetry_decodes_chains_under_precise_scheme() {
+        let cfg = PipelineConfig {
+            strategy: Strategy::Slim,
+            scheme: Scheme::Positional,
+            ..PipelineConfig::default()
+        };
+        let tel = HeapTherapy::new(cfg)
+            .attack_telemetry(&ht_vulnapps::bc())
+            .unwrap();
+        let of = tel
+            .reports
+            .iter()
+            .find(|r| r.vuln == VulnFlags::OVERFLOW)
+            .expect("overflow report");
+        assert!(!of.call_chain.is_empty(), "precise scheme decodes");
+        assert_eq!(
+            of.call_chain.last().map(String::as_str),
+            Some("main"),
+            "allocation site first, entry last: {:?}",
+            of.call_chain
+        );
+        assert!(
+            of.call_chain.iter().any(|f| f == "more_arrays"),
+            "culprit frame named: {:?}",
+            of.call_chain
+        );
+        // The report matches the offline patch identity.
+        let text = of.to_string();
+        assert!(text.contains("guard page"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_armed_run_matches_plain_run() {
+        // Arming telemetry must not change what the defense does.
+        let app = ht_vulnapps::heartbleed();
+        let plain = ht().full_cycle(&app).unwrap();
+        let armed = HeapTherapy::new(PipelineConfig {
+            telemetry: ht_telemetry::TelemetryConfig::enabled(),
+            ..PipelineConfig::default()
+        })
+        .full_cycle(&app)
+        .unwrap();
+        assert_eq!(plain.detected, armed.detected);
+        assert_eq!(plain.config_text, armed.config_text);
+        assert_eq!(plain.all_attacks_blocked, armed.all_attacks_blocked);
+        assert_eq!(plain.benign_ok, armed.benign_ok);
     }
 
     #[test]

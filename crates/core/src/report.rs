@@ -12,8 +12,22 @@
 
 use crate::pipeline::{AnalysisReport, InstrumentedProgram};
 use ht_encoding::{decode, Ccid};
-use ht_patch::Patch;
+use ht_patch::{AllocFn, Patch};
 use std::fmt;
+
+/// Decodes a patch CCID into its call chain (entry function first, the
+/// allocation API last), when the plan's encoding scheme supports decoding.
+pub fn decode_chain(ip: &InstrumentedProgram<'_>, fun: AllocFn, ccid: u64) -> Option<Vec<String>> {
+    let graph = ip.program.graph();
+    let target = graph.func_by_name(fun.name())?;
+    let path = decode(graph, &ip.plan, Ccid(ccid), target)?;
+    let mut chain = vec!["main".to_string()];
+    chain.extend(
+        path.iter()
+            .map(|&e| graph.func(graph.edge(e).callee).name.clone()),
+    );
+    Some(chain)
+}
 
 /// One patch with its decoded provenance.
 #[derive(Debug, Clone)]
@@ -68,26 +82,12 @@ pub fn incident_report(
     analysis: &AnalysisReport,
     title: impl Into<String>,
 ) -> IncidentReport {
-    let graph = ip.program.graph();
     let patches = analysis
         .patches
         .iter()
-        .map(|patch| {
-            let call_chain = graph
-                .func_by_name(patch.alloc_fn.name())
-                .and_then(|target| decode(graph, &ip.plan, Ccid(patch.ccid), target))
-                .map(|path| {
-                    let mut chain = vec!["main".to_string()];
-                    chain.extend(
-                        path.iter()
-                            .map(|&e| graph.func(graph.edge(e).callee).name.clone()),
-                    );
-                    chain
-                });
-            PatchReport {
-                patch: patch.clone(),
-                call_chain,
-            }
+        .map(|patch| PatchReport {
+            patch: patch.clone(),
+            call_chain: decode_chain(ip, patch.alloc_fn, patch.ccid),
         })
         .collect();
     IncidentReport {

@@ -8,6 +8,11 @@ use ht_memsim::{
 };
 use ht_patch::{AllocFn, PatchTable, VulnFlags};
 use ht_simprog::{AccessOutcome, AllocRequest, HeapBackend, ReadResult, Sink, StopCause};
+use ht_telemetry::{
+    AttackReport, Event, EventKind, EventRing, PatchCounterRow, TelemetryConfig, TelemetrySnapshot,
+    NO_SLOT,
+};
+use std::collections::HashMap;
 
 /// Online-defense configuration.
 #[derive(Debug, Clone)]
@@ -24,6 +29,10 @@ pub struct DefenseConfig {
     /// table — the prohibitively expensive policy HeapTherapy+'s targeting
     /// avoids (paper Section VI).
     pub guard_all: bool,
+    /// Attack telemetry (paper Section VII's diagnosis report). Disabled by
+    /// default: a disabled backend allocates no telemetry state and the hot
+    /// path pays nothing beyond one `Option` check on defended branches.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for DefenseConfig {
@@ -33,6 +42,7 @@ impl Default for DefenseConfig {
             maintain_metadata: true,
             quarantine_quota: 2 * 1024 * 1024 * 1024,
             guard_all: false,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -77,6 +87,68 @@ pub struct DefenseStats {
     pub blocked_accesses: u64,
 }
 
+/// Telemetry state of a defended backend. Allocated only when the
+/// configuration enables telemetry, so the disabled mode carries no state.
+///
+/// The sim reuses the allocator's lock-free [`EventRing`] (identical
+/// overflow-and-drop semantics) even though the interpreter is
+/// single-threaded; counters and once-bits are plain vectors keyed by
+/// [`PatchTable::slot_index`] — the dense position of a patch in the sorted
+/// entry list.
+#[derive(Debug)]
+struct Telemetry {
+    ring: Box<EventRing>,
+    /// `(hits, bytes)` per patch-table slot.
+    per_patch: Vec<(u64, u64)>,
+    /// Once-bit mask per slot: which `T` bits already filed a report.
+    reported: Vec<u8>,
+    /// Attack reports in first-activation order.
+    reports: Vec<AttackReport>,
+    /// Live patched user pointers → slot (free-path attribution).
+    live: HashMap<Addr, u32>,
+    /// Quarantined inner pointers → slot (eviction attribution).
+    deferred: HashMap<Addr, u32>,
+}
+
+impl Telemetry {
+    fn new(patches: usize) -> Self {
+        Self {
+            ring: Box::new(EventRing::new()),
+            per_patch: vec![(0, 0); patches],
+            reported: vec![0; patches],
+            reports: Vec::new(),
+            live: HashMap::new(),
+            deferred: HashMap::new(),
+        }
+    }
+
+    /// Files the one-time attack report for `(slot, t)` if this is the
+    /// first activation; later activations of the same pair are silent.
+    fn report_once(&mut self, slot: u32, t: VulnFlags, fun: AllocFn, ccid: u64, size: u64) {
+        let s = slot as usize;
+        if self.reported[s] & t.bits() != 0 {
+            return;
+        }
+        self.reported[s] |= t.bits();
+        self.ring.push(Event::patched(
+            EventKind::AttackReported,
+            fun,
+            t,
+            slot,
+            ccid,
+            size,
+        ));
+        self.reports.push(AttackReport {
+            fun,
+            ccid,
+            vuln: t,
+            slot,
+            size,
+            call_chain: Vec::new(),
+        });
+    }
+}
+
 /// The online defense generator over an arbitrary inner allocator.
 ///
 /// All heap traffic flows through this backend; buffers whose
@@ -89,6 +161,7 @@ pub struct DefendedBackend<A: BaseAllocator = FreeListAllocator> {
     cfg: DefenseConfig,
     quarantine: Quarantine,
     stats: DefenseStats,
+    telemetry: Option<Telemetry>,
 }
 
 impl DefendedBackend<FreeListAllocator> {
@@ -116,12 +189,17 @@ impl<A: BaseAllocator> DefendedBackend<A> {
             "defenses require metadata maintenance"
         );
         let quota = cfg.quarantine_quota;
+        let telemetry = cfg
+            .telemetry
+            .is_enabled()
+            .then(|| Telemetry::new(cfg.table.len()));
         Self {
             space: AddressSpace::new(),
             inner,
             cfg,
             quarantine: Quarantine::new(quota),
             stats: DefenseStats::default(),
+            telemetry,
         }
     }
 
@@ -155,6 +233,146 @@ impl<A: BaseAllocator> DefendedBackend<A> {
             vuln |= VulnFlags::OVERFLOW;
         }
         vuln
+    }
+
+    /// The `(FUN, CCID)` identity of patch-table slot `slot`, or a
+    /// placeholder for unattributed events (`guard_all` injections).
+    fn patch_identity(table: &PatchTable, slot: u32) -> (AllocFn, u64) {
+        if slot == NO_SLOT {
+            return (AllocFn::Malloc, 0);
+        }
+        table
+            .entry(slot as usize)
+            .map_or((AllocFn::Malloc, 0), |(f, c, _)| (f, c))
+    }
+
+    /// Records telemetry for one successful defended allocation.
+    fn note_alloc(&mut self, fun: AllocFn, ccid: u64, size: u64, vuln: VulnFlags, user: Addr) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        if vuln.is_empty() {
+            return;
+        }
+        let slot = self
+            .cfg
+            .table
+            .slot_index(fun, ccid)
+            .map_or(NO_SLOT, |s| s as u32);
+        if slot != NO_SLOT {
+            let c = &mut tel.per_patch[slot as usize];
+            c.0 += 1;
+            c.1 += size;
+            tel.ring.push(Event::patched(
+                EventKind::PatchHit,
+                fun,
+                vuln,
+                slot,
+                ccid,
+                size,
+            ));
+            // Live-pointer attribution for the free path.
+            tel.live.insert(user, slot);
+        }
+        for (t, kind) in [
+            (VulnFlags::OVERFLOW, EventKind::GuardInstall),
+            (VulnFlags::UNINIT_READ, EventKind::ZeroInit),
+        ] {
+            if vuln.contains(t) {
+                tel.ring
+                    .push(Event::patched(kind, fun, t, slot, ccid, size));
+                // Alloc-time defenses count as activations: first one per
+                // `(FUN, CCID, T)` files the attack report.
+                if slot != NO_SLOT {
+                    tel.report_once(slot, t, fun, ccid, size);
+                }
+            }
+        }
+    }
+
+    /// Records a deferred free (quarantine entry) of a UAF-patched block.
+    fn note_defer(&mut self, user: Addr, pi: Addr, size: u64) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        let slot = tel.live.remove(&user).unwrap_or(NO_SLOT);
+        tel.deferred.insert(pi, slot);
+        let (fun, ccid) = Self::patch_identity(&self.cfg.table, slot);
+        tel.ring.push(Event::patched(
+            EventKind::QuarantineDefer,
+            fun,
+            VulnFlags::USE_AFTER_FREE,
+            slot,
+            ccid,
+            size,
+        ));
+        if slot != NO_SLOT {
+            tel.report_once(slot, VulnFlags::USE_AFTER_FREE, fun, ccid, size);
+        }
+    }
+
+    /// Records a quota eviction out of the quarantine.
+    fn note_evict(&mut self, b: &QuarantinedBlock) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        let slot = tel.deferred.remove(&b.inner_ptr).unwrap_or(NO_SLOT);
+        let (fun, ccid) = Self::patch_identity(&self.cfg.table, slot);
+        tel.ring.push(Event::patched(
+            EventKind::QuarantineEvict,
+            fun,
+            VulnFlags::USE_AFTER_FREE,
+            slot,
+            ccid,
+            b.size,
+        ));
+    }
+
+    /// Records an access stopped at a guard page. The faulting access does
+    /// not identify its buffer, so the event is unattributed (the paper's
+    /// SIGSEGV handler recovers the context from the fault address; the sim
+    /// keeps only the count and the attempted length).
+    fn note_trip(&mut self, len: u64) {
+        if let Some(tel) = &mut self.telemetry {
+            tel.ring.push(Event::unattributed(
+                EventKind::GuardTrip,
+                AllocFn::Malloc,
+                len,
+            ));
+        }
+    }
+
+    /// Drains and returns everything telemetry observed so far, or `None`
+    /// when the configuration disabled telemetry. Ring events drain
+    /// destructively; per-patch counters and reports are cumulative.
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        let tel = self.telemetry.as_mut()?;
+        let events = tel.ring.drain_vec();
+        let table = &self.cfg.table;
+        let per_patch = tel
+            .per_patch
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(hits, _))| hits > 0)
+            .map(|(s, &(hits, bytes))| {
+                let (fun, ccid, vuln) = table.entry(s).expect("counter slot within table");
+                PatchCounterRow {
+                    slot: s,
+                    fun,
+                    ccid,
+                    vuln,
+                    hits,
+                    bytes,
+                }
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            events,
+            delivered: tel.ring.delivered(),
+            dropped: tel.ring.dropped(),
+            per_patch,
+            reports: tel.reports.clone(),
+        })
     }
 
     /// Allocates one defended buffer (Structures 1–4).
@@ -246,17 +464,22 @@ impl<A: BaseAllocator> DefendedBackend<A> {
         // (3) defer or release.
         if meta.vuln().contains(VulnFlags::USE_AFTER_FREE) {
             self.stats.quarantined_blocks += 1;
+            self.note_defer(user, pi, size);
             let evicted = self.quarantine.push(QuarantinedBlock {
                 inner_ptr: pi,
                 size,
             });
             for b in evicted {
+                self.note_evict(&b);
                 self.inner
                     .free(&mut self.space, b.inner_ptr)
                     .map_err(Self::misuse)?;
             }
             Ok(())
         } else {
+            if let Some(tel) = &mut self.telemetry {
+                tel.live.remove(&user);
+            }
             self.inner.free(&mut self.space, pi).map_err(Self::misuse)
         }
     }
@@ -279,7 +502,7 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
             return Ok(ptr);
         }
         let vuln = self.probe(req.fun, req.ccid.0);
-        match (req.fun, req.old_ptr) {
+        let user = match (req.fun, req.old_ptr) {
             (AllocFn::Realloc, Some(old)) => {
                 // Paper Section V: the buffer's CCID is updated to the
                 // realloc-time context — the new buffer is enhanced per the
@@ -293,10 +516,12 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
                 }
                 self.stats.interposed_frees += 1;
                 self.defended_free(old)?;
-                Ok(user)
+                user
             }
-            _ => self.defended_alloc(req.fun, req.size, req.align, vuln),
-        }
+            _ => self.defended_alloc(req.fun, req.size, req.align, vuln)?,
+        };
+        self.note_alloc(req.fun, req.ccid.0, req.size, vuln, user);
+        Ok(user)
     }
 
     fn free(&mut self, ptr: Addr) -> AccessOutcome {
@@ -318,6 +543,7 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
             Ok(()) => AccessOutcome::Ok,
             Err(f) => {
                 self.stats.blocked_accesses += 1;
+                self.note_trip(len);
                 AccessOutcome::Stop(StopCause::Segfault {
                     addr: f.addr,
                     write: true,
@@ -335,6 +561,7 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
             },
             Err(f) => {
                 self.stats.blocked_accesses += 1;
+                self.note_trip(len);
                 data.truncate(f.completed as usize);
                 ReadResult {
                     data,
@@ -351,6 +578,7 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
         let mut buf = vec![0u8; len as usize];
         if let Err(f) = self.space.read(src, &mut buf) {
             self.stats.blocked_accesses += 1;
+            self.note_trip(len);
             return AccessOutcome::Stop(StopCause::Segfault {
                 addr: f.addr,
                 write: false,
@@ -360,6 +588,7 @@ impl<A: BaseAllocator> HeapBackend for DefendedBackend<A> {
             Ok(()) => AccessOutcome::Ok,
             Err(f) => {
                 self.stats.blocked_accesses += 1;
+                self.note_trip(len);
                 AccessOutcome::Stop(StopCause::Segfault {
                     addr: f.addr,
                     write: true,
@@ -703,6 +932,147 @@ mod tests {
         // Reading out of the guarded buffer as a memcpy source is capped too.
         let r = d.copy(dst, src, 8192);
         assert!(!r.is_ok(), "overread via memcpy blocked");
+    }
+
+    fn telemetry_cfg(table: PatchTable) -> DefenseConfig {
+        DefenseConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..DefenseConfig::with_table(table)
+        }
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_and_stateless() {
+        let mut d = DefendedBackend::new(DefenseConfig::with_table(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 64, VULN)).unwrap();
+        assert!(!d.write(p, 10_000, 1).is_ok());
+        assert!(
+            d.telemetry_snapshot().is_none(),
+            "disabled telemetry has no snapshot, even after defenses fired"
+        );
+    }
+
+    #[test]
+    fn telemetry_files_one_report_per_t_and_counts_hits() {
+        let mut d =
+            DefendedBackend::new(telemetry_cfg(table(AllocFn::Malloc, VULN, VulnFlags::ALL)));
+        for _ in 0..3 {
+            let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+            d.free(p);
+        }
+        let snap = d.telemetry_snapshot().unwrap();
+        // Exactly one report per (FUN, CCID, T) despite three activations.
+        assert_eq!(
+            snap.reports.len(),
+            3,
+            "one report per T bit: {:?}",
+            snap.reports
+        );
+        for t in [
+            VulnFlags::OVERFLOW,
+            VulnFlags::USE_AFTER_FREE,
+            VulnFlags::UNINIT_READ,
+        ] {
+            let matching: Vec<_> = snap.reports.iter().filter(|r| r.vuln == t).collect();
+            assert_eq!(matching.len(), 1, "exactly one report for {t:?}");
+            assert_eq!(matching[0].fun, AllocFn::Malloc);
+            assert_eq!(matching[0].ccid, VULN);
+            assert_eq!(matching[0].slot, 0);
+        }
+        // Per-patch counters accumulate every hit.
+        assert_eq!(snap.per_patch.len(), 1);
+        assert_eq!(snap.per_patch[0].hits, 3);
+        assert_eq!(snap.per_patch[0].bytes, 300);
+        // Event stream: 3 hits, 3 guard installs, 3 zero-inits, 3 defers,
+        // 3 reports (one per T).
+        let count = |k: EventKind| snap.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::PatchHit), 3);
+        assert_eq!(count(EventKind::GuardInstall), 3);
+        assert_eq!(count(EventKind::ZeroInit), 3);
+        assert_eq!(count(EventKind::QuarantineDefer), 3);
+        assert_eq!(count(EventKind::AttackReported), 3);
+        assert_eq!(snap.dropped, 0);
+        // A second snapshot drains nothing new but keeps cumulative state.
+        let again = d.telemetry_snapshot().unwrap();
+        assert!(again.events.is_empty(), "ring drained destructively");
+        assert_eq!(again.reports.len(), 3, "reports are cumulative");
+        assert_eq!(again.per_patch[0].hits, 3);
+    }
+
+    #[test]
+    fn telemetry_attributes_guard_trips_and_evictions() {
+        let mut cfg = telemetry_cfg(table(AllocFn::Malloc, VULN, VulnFlags::USE_AFTER_FREE));
+        cfg.quarantine_quota = 100;
+        let mut d = DefendedBackend::new(cfg);
+        let p1 = d.alloc(&req(AllocFn::Malloc, 80, VULN)).unwrap();
+        let p2 = d.alloc(&req(AllocFn::Malloc, 80, VULN)).unwrap();
+        d.free(p1);
+        d.free(p2); // quota forces p1's block out
+        let snap = d.telemetry_snapshot().unwrap();
+        let evicts: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::QuarantineEvict)
+            .collect();
+        assert_eq!(evicts.len(), 1);
+        assert_eq!(evicts[0].slot, 0, "eviction resolves back to the patch");
+        assert_eq!(evicts[0].ccid, VULN);
+        assert_eq!(evicts[0].size, 80);
+        // Only the first deferred free files the UAF report.
+        assert_eq!(snap.reports.len(), 1);
+        assert_eq!(snap.reports[0].vuln, VulnFlags::USE_AFTER_FREE);
+    }
+
+    #[test]
+    fn telemetry_records_blocked_accesses_as_guard_trips() {
+        let mut d = DefendedBackend::new(telemetry_cfg(table(
+            AllocFn::Malloc,
+            VULN,
+            VulnFlags::OVERFLOW,
+        )));
+        let p = d.alloc(&req(AllocFn::Malloc, 100, VULN)).unwrap();
+        assert!(!d.write(p, 50_000, 1).is_ok());
+        let r = d.read(p, 50_000, Sink::Leak);
+        assert!(!r.outcome.is_ok());
+        let snap = d.telemetry_snapshot().unwrap();
+        let trips = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::GuardTrip)
+            .count();
+        assert_eq!(trips, 2, "write + read both tripped the guard");
+    }
+
+    #[test]
+    fn telemetry_does_not_change_defense_behavior() {
+        // The same workload with telemetry on and off must produce identical
+        // allocation results, stats, and quarantine state (observation only;
+        // the cross-crate proptest widens this to random workloads).
+        let run = |telemetry: TelemetryConfig| {
+            let mut cfg = DefenseConfig::with_table(table(AllocFn::Malloc, VULN, VulnFlags::ALL));
+            cfg.telemetry = telemetry;
+            cfg.quarantine_quota = 200;
+            let mut d = DefendedBackend::new(cfg);
+            let mut log = Vec::new();
+            for i in 0..20u64 {
+                let ccid = if i % 3 == 0 { VULN } else { SAFE };
+                let p = d.alloc(&req(AllocFn::Malloc, 64 + i, ccid)).unwrap();
+                log.push(p);
+                d.write(p, 8, i as u8);
+                if i % 2 == 0 {
+                    d.free(p);
+                }
+            }
+            (log, d.stats(), d.quarantine().len())
+        };
+        assert_eq!(
+            run(TelemetryConfig::disabled()),
+            run(TelemetryConfig::enabled()),
+        );
     }
 
     #[test]

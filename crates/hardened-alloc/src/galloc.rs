@@ -1,8 +1,13 @@
 //! The hardened global allocator.
 
 use crate::ccid;
-use crate::registry::{Entry, QuarantineRing, Registry, RegistryStats, StripedCounter};
+use crate::registry::{
+    Entry, QuarantineRing, Registry, RegistryStats, StripedCounter, NO_PATCH_SLOT,
+};
 use ht_patch::{AllocFn, Patch, VulnFlags};
+use ht_telemetry::{
+    AttackReport, Event, EventKind, EventRing, PatchCounterRow, PatchStripes, TelemetrySnapshot,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
@@ -47,14 +52,23 @@ pub struct HardenedStats {
     pub quarantined: u64,
     /// Blocks evicted from the quarantine back to the system.
     pub evictions: u64,
+    /// Bytes ever pushed into the quarantine.
+    pub quarantined_bytes: u64,
+    /// Bytes evicted from the quarantine back to the system.
+    pub evicted_bytes: u64,
     /// Defenses skipped because a fixed table was full (fail-open).
     pub fail_open: u64,
 }
 
 const PATCH_SLOTS: usize = 512;
 
-/// One published patch slot. `meta` packs `READY | fun << FUN_SHIFT | vuln`;
-/// `ccid` holds the key's context ID.
+/// One published patch slot. `meta` packs
+/// `READY | fun << FUN_SHIFT | reported << REPORTED_SHIFT | vuln`; `ccid`
+/// holds the key's context ID. The `reported` field mirrors the vuln bit
+/// layout and carries the telemetry once-bits: bit `REPORTED_SHIFT + t` is
+/// set the first time the `T = 1 << t` defense of this patch fires, so the
+/// runtime files exactly one attack report per `(FUN, CCID, T)` without a
+/// lock.
 struct PatchSlot {
     meta: AtomicU64,
     ccid: AtomicU64,
@@ -62,6 +76,7 @@ struct PatchSlot {
 
 const READY: u64 = 1 << 63;
 const FUN_SHIFT: u32 = 32;
+const REPORTED_SHIFT: u32 = 8;
 
 #[allow(clippy::declare_interior_mutable_const)] // used once per array slot
 const EMPTY_SLOT: PatchSlot = PatchSlot {
@@ -82,7 +97,9 @@ const EMPTY_SLOT: PatchSlot = PatchSlot {
 ///
 /// [`PatchSet::freeze`] seals the table against further installs — the
 /// moral equivalent of the paper `mprotect`-ing its table read-only after
-/// the configuration file is loaded.
+/// the configuration file is loaded. The telemetry once-bits (see
+/// [`PatchSlot`]) are the one field that still mutates after freeze; they
+/// are purely observational and masked out of every lookup.
 struct PatchSet {
     lock: crate::registry::SpinLock,
     frozen: AtomicBool,
@@ -144,22 +161,53 @@ impl PatchSet {
     }
 
     /// Lock-free probe (see the type-level comment for the protocol).
+    /// Returns the vulnerability bits and the slot index of the hit.
     #[inline]
-    fn lookup(&self, fun: AllocFn, ccid: u64) -> VulnFlags {
+    fn lookup_slot(&self, fun: AllocFn, ccid: u64) -> Option<(usize, VulnFlags)> {
         let start = Self::slot_of(fun, ccid);
         for i in 0..PATCH_SLOTS {
             let s = (start + i) % PATCH_SLOTS;
             let slot = &self.slots[s];
             let meta = slot.meta.load(Ordering::Acquire);
             if meta & READY == 0 {
-                return VulnFlags::NONE;
+                return None;
             }
             if (meta >> FUN_SHIFT) & 0xFF == fun as u64 && slot.ccid.load(Ordering::Relaxed) == ccid
             {
-                return VulnFlags::from_bits_truncate(meta as u8);
+                return Some((s, VulnFlags::from_bits_truncate(meta as u8)));
             }
         }
-        VulnFlags::NONE
+        None
+    }
+
+    #[cfg(test)]
+    fn lookup(&self, fun: AllocFn, ccid: u64) -> VulnFlags {
+        self.lookup_slot(fun, ccid)
+            .map_or(VulnFlags::NONE, |(_, v)| v)
+    }
+
+    /// The published patch in slot `s`, if any.
+    fn entry_at(&self, s: usize) -> Option<PatchEntry> {
+        let slot = self.slots.get(s)?;
+        let meta = slot.meta.load(Ordering::Acquire);
+        if meta & READY == 0 {
+            return None;
+        }
+        let fun = *AllocFn::ALL.get(((meta >> FUN_SHIFT) & 0xFF) as usize)?;
+        Some(PatchEntry::new(
+            fun,
+            slot.ccid.load(Ordering::Relaxed),
+            VulnFlags::from_bits_truncate(meta as u8),
+        ))
+    }
+
+    /// Sets the once-bit for vulnerability type `t` (a single bit) in slot
+    /// `s`. Returns `true` exactly once per `(slot, t)` — the caller files
+    /// the attack report on `true`.
+    fn report_once(&self, s: usize, t: VulnFlags) -> bool {
+        let bit = u64::from(t.bits()) << REPORTED_SHIFT;
+        let prev = self.slots[s].meta.fetch_or(bit, Ordering::Relaxed);
+        prev & bit == 0
     }
 }
 
@@ -188,7 +236,17 @@ pub struct HardenedAlloc {
     zero_fills: StripedCounter,
     quarantined: StripedCounter,
     evictions: StripedCounter,
+    quarantined_bytes: StripedCounter,
+    evicted_bytes: StripedCounter,
     fail_open: StripedCounter,
+    /// Telemetry arm switch. Checked only on defense-relevant paths (table
+    /// hit, patched free), never on the unpatched fast path — disabled
+    /// telemetry therefore costs zero atomics per ordinary allocation.
+    telemetry_on: AtomicBool,
+    /// Defense-activation events (telemetry; lock-free, allocation-free).
+    events: EventRing,
+    /// Per-patch-slot hit/byte counters (telemetry).
+    patch_counters: PatchStripes<PATCH_SLOTS>,
 }
 
 impl std::fmt::Debug for PatchSet {
@@ -219,7 +277,12 @@ impl HardenedAlloc {
             zero_fills: StripedCounter::new(),
             quarantined: StripedCounter::new(),
             evictions: StripedCounter::new(),
+            quarantined_bytes: StripedCounter::new(),
+            evicted_bytes: StripedCounter::new(),
             fail_open: StripedCounter::new(),
+            telemetry_on: AtomicBool::new(false),
+            events: EventRing::new(),
+            patch_counters: PatchStripes::new(),
         }
     }
 
@@ -282,7 +345,10 @@ impl HardenedAlloc {
         self.quota.store(bytes, Ordering::Relaxed);
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Byte conservation: at any quiescent point,
+    /// `quarantined_bytes == evicted_bytes + quarantine_usage().1` — bytes
+    /// deferred either went back to the system (eviction) or are still
+    /// held.
     pub fn stats(&self) -> HardenedStats {
         HardenedStats {
             interposed_allocs: self.interposed_allocs.load(),
@@ -292,7 +358,152 @@ impl HardenedAlloc {
             zero_fills: self.zero_fills.load(),
             quarantined: self.quarantined.load(),
             evictions: self.evictions.load(),
+            quarantined_bytes: self.quarantined_bytes.load(),
+            evicted_bytes: self.evicted_bytes.load(),
             fail_open: self.fail_open.load(),
+        }
+    }
+
+    /// Arms or disarms telemetry recording. Off by default; switching is
+    /// safe at any time (events race benignly around the flip).
+    pub fn set_telemetry(&self, on: bool) {
+        self.telemetry_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether telemetry recording is armed.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry_on.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn note(&self, ev: Event) {
+        if self.telemetry_on.load(Ordering::Relaxed) {
+            self.events.push(ev);
+        }
+    }
+
+    /// Records a table hit plus the defenses about to be applied, files
+    /// one-time attack reports per newly fired `(FUN, CCID, T)` with
+    /// `T != UAF` (the UAF report files on the free path, where the
+    /// quarantine defense actually runs).
+    #[inline]
+    fn note_patch_hit(&self, fun: AllocFn, ccid: u64, vuln: VulnFlags, slot: usize, size: usize) {
+        if !self.telemetry_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let size = size as u64;
+        self.patch_counters.record(slot, size);
+        let slot32 = slot as u32;
+        self.events.push(Event::patched(
+            EventKind::PatchHit,
+            fun,
+            vuln,
+            slot32,
+            ccid,
+            size,
+        ));
+        for (t, kind) in [
+            (VulnFlags::OVERFLOW, EventKind::GuardInstall),
+            (VulnFlags::UNINIT_READ, EventKind::ZeroInit),
+        ] {
+            if vuln.contains(t) {
+                self.events
+                    .push(Event::patched(kind, fun, t, slot32, ccid, size));
+                if self.patches.report_once(slot, t) {
+                    self.events.push(Event::patched(
+                        EventKind::AttackReported,
+                        fun,
+                        t,
+                        slot32,
+                        ccid,
+                        size,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Records a quarantine defer/evict for a registered entry, filing the
+    /// one-time UAF attack report on the first defer of its patch.
+    #[inline]
+    fn note_quarantine(&self, kind: EventKind, e: &Entry) {
+        if !self.telemetry_on.load(Ordering::Relaxed) || e.slot == NO_PATCH_SLOT {
+            return;
+        }
+        let slot = e.slot as usize;
+        let Some(p) = self.patches.entry_at(slot) else {
+            return;
+        };
+        let size = e.size as u64;
+        self.events.push(Event::patched(
+            kind,
+            p.fun,
+            VulnFlags::USE_AFTER_FREE,
+            e.slot,
+            p.ccid,
+            size,
+        ));
+        if kind == EventKind::QuarantineDefer
+            && self.patches.report_once(slot, VulnFlags::USE_AFTER_FREE)
+        {
+            self.events.push(Event::patched(
+                EventKind::AttackReported,
+                p.fun,
+                VulnFlags::USE_AFTER_FREE,
+                e.slot,
+                p.ccid,
+                size,
+            ));
+        }
+    }
+
+    /// Drains the event ring (observer API — allocates, so never call it
+    /// from inside an allocation).
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.events.drain_vec()
+    }
+
+    /// Drains the ring and merges the per-patch counters into a full
+    /// telemetry snapshot. Attack reports are rebuilt from the drained
+    /// `attack-reported` events (call chains stay undecoded here — the
+    /// allocator has no encoding plan; `heaptherapy-core` decodes).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let events = self.drain_events();
+        let reports = events
+            .iter()
+            .filter(|e| e.kind == EventKind::AttackReported)
+            .map(|e| AttackReport {
+                fun: e.fun,
+                ccid: e.ccid,
+                vuln: e.vuln,
+                slot: e.slot,
+                size: e.size,
+                call_chain: Vec::new(),
+            })
+            .collect();
+        let merged = self.patch_counters.merge();
+        let per_patch = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.hits > 0)
+            .filter_map(|(slot, c)| {
+                let p = self.patches.entry_at(slot)?;
+                Some(PatchCounterRow {
+                    slot,
+                    fun: p.fun,
+                    ccid: p.ccid,
+                    vuln: p.vuln,
+                    hits: c.hits,
+                    bytes: c.bytes,
+                })
+            })
+            .collect();
+        TelemetrySnapshot {
+            events,
+            delivered: self.events.delivered(),
+            dropped: self.events.dropped(),
+            per_patch,
+            reports,
         }
     }
 
@@ -317,7 +528,7 @@ impl HardenedAlloc {
 
     /// `mmap` a region with a trailing `PROT_NONE` guard page and place the
     /// user buffer so its end abuts the guard (modulo alignment).
-    unsafe fn guarded_alloc(&self, layout: Layout, vuln: VulnFlags) -> *mut u8 {
+    unsafe fn guarded_alloc(&self, layout: Layout, vuln: VulnFlags, slot: u32) -> *mut u8 {
         let size = layout.size().max(1);
         let align = layout.align().max(1);
         let body = page_up(size + align);
@@ -346,6 +557,7 @@ impl HardenedAlloc {
             region,
             region_len: total,
             vuln: vuln.bits(),
+            slot,
             size,
             align,
         };
@@ -354,6 +566,11 @@ impl HardenedAlloc {
             // system allocator so dealloc stays correct.
             libc::munmap(region as *mut libc::c_void, total);
             self.fail_open.incr();
+            self.note(Event::unattributed(
+                EventKind::FailOpen,
+                AllocFn::Malloc,
+                size as u64,
+            ));
             return System.alloc(layout);
         }
         self.guard_pages.incr();
@@ -362,16 +579,21 @@ impl HardenedAlloc {
 
     unsafe fn alloc_with(&self, fun: AllocFn, layout: Layout, zeroed: bool) -> *mut u8 {
         self.interposed_allocs.incr();
-        let vuln = self.patches.lookup(fun, ccid::current());
+        let ccid = ccid::current();
+        let (slot, vuln) = self
+            .patches
+            .lookup_slot(fun, ccid)
+            .unwrap_or((NO_PATCH_SLOT as usize, VulnFlags::NONE));
         if !vuln.is_empty() {
             self.table_hits.incr();
+            self.note_patch_hit(fun, ccid, vuln, slot, layout.size());
         }
         if vuln.contains(VulnFlags::OVERFLOW) {
             // mmap memory is already zeroed, which also covers UR.
             if vuln.contains(VulnFlags::UNINIT_READ) {
                 self.zero_fills.incr();
             }
-            return self.guarded_alloc(layout, vuln);
+            return self.guarded_alloc(layout, vuln, slot as u32);
         }
         let p = if zeroed {
             System.alloc_zeroed(layout)
@@ -391,11 +613,17 @@ impl HardenedAlloc {
                 region: 0,
                 region_len: 0,
                 vuln: vuln.bits(),
+                slot: slot as u32,
                 size: layout.size(),
                 align: layout.align(),
             };
             if !self.registry.insert(entry) {
                 self.fail_open.incr();
+                self.note(Event::unattributed(
+                    EventKind::FailOpen,
+                    fun,
+                    layout.size() as u64,
+                ));
             }
         }
         p
@@ -427,9 +655,13 @@ unsafe impl GlobalAlloc for HardenedAlloc {
                 let vuln = VulnFlags::from_bits_truncate(e.vuln);
                 if vuln.contains(VulnFlags::USE_AFTER_FREE) {
                     self.quarantined.incr();
+                    self.quarantined_bytes.add(e.size as u64);
+                    self.note_quarantine(EventKind::QuarantineDefer, &e);
                     let quota = self.quota.load(Ordering::Relaxed);
                     for evicted in self.quarantine.push(e, quota).into_iter().flatten() {
                         self.evictions.incr();
+                        self.evicted_bytes.add(evicted.size as u64);
+                        self.note_quarantine(EventKind::QuarantineEvict, &evicted);
                         self.release(evicted);
                     }
                 } else {
@@ -739,5 +971,162 @@ mod tests {
         let st = a.stats();
         assert_eq!(st.interposed_allocs, 800);
         assert_eq!(st.interposed_frees, 800);
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        let a = HardenedAlloc::new();
+        let here = ccid::with_site(0x88, ccid::current);
+        a.install(&[PatchEntry::new(AllocFn::Malloc, here, VulnFlags::ALL)]);
+        unsafe {
+            let l = layout(128, 8);
+            let p = {
+                let _site = ccid::CallScope::enter(0x88);
+                a.alloc(l)
+            };
+            a.dealloc(p, l);
+        }
+        assert!(!a.telemetry_enabled());
+        let snap = a.telemetry_snapshot();
+        assert!(snap.is_empty(), "disabled telemetry observed {snap:?}");
+        assert_eq!(snap.delivered, 0);
+    }
+
+    #[test]
+    fn telemetry_records_defenses_and_files_one_report_per_t() {
+        let a = HardenedAlloc::new();
+        a.set_telemetry(true);
+        let here = ccid::with_site(0x99, ccid::current);
+        a.install(&[PatchEntry::new(AllocFn::Malloc, here, VulnFlags::ALL)]);
+        a.freeze();
+        unsafe {
+            let l = layout(200, 8);
+            for _ in 0..3 {
+                let p = {
+                    let _site = ccid::CallScope::enter(0x99);
+                    a.alloc(l)
+                };
+                a.dealloc(p, l);
+            }
+        }
+        let snap = a.telemetry_snapshot();
+        // 3 hits of one ALL-patch: OF + UR report at first alloc, UAF
+        // report at first defer — exactly one report per (FUN, CCID, T).
+        assert_eq!(snap.reports.len(), 3, "{:?}", snap.reports);
+        let mut types: Vec<VulnFlags> = snap.reports.iter().map(|r| r.vuln).collect();
+        types.sort();
+        assert_eq!(
+            types,
+            vec![
+                VulnFlags::OVERFLOW,
+                VulnFlags::USE_AFTER_FREE,
+                VulnFlags::UNINIT_READ
+            ]
+        );
+        for r in &snap.reports {
+            assert_eq!(r.fun, AllocFn::Malloc);
+            assert_eq!(r.ccid, here);
+            assert_eq!(r.size, 200);
+        }
+        // Per-patch counters: 3 hits x 200 bytes against the one patch.
+        assert_eq!(snap.per_patch.len(), 1);
+        assert_eq!(snap.per_patch[0].hits, 3);
+        assert_eq!(snap.per_patch[0].bytes, 600);
+        assert_eq!(snap.per_patch[0].ccid, here);
+        // Events: per round one patch-hit + guard-install + zero-init +
+        // quarantine-defer, plus the 3 one-time attack reports.
+        let count = |k: EventKind| snap.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::PatchHit), 3);
+        assert_eq!(count(EventKind::GuardInstall), 3);
+        assert_eq!(count(EventKind::ZeroInit), 3);
+        assert_eq!(count(EventKind::QuarantineDefer), 3);
+        assert_eq!(count(EventKind::AttackReported), 3);
+        assert_eq!(snap.dropped, 0);
+        // A second snapshot delivers no stale events and no new reports.
+        let again = a.telemetry_snapshot();
+        assert!(again.events.is_empty(), "events delivered exactly once");
+        assert!(again.reports.is_empty());
+    }
+
+    #[test]
+    fn telemetry_eviction_events_attribute_the_patch() {
+        let a = HardenedAlloc::new();
+        a.set_telemetry(true);
+        a.set_quarantine_quota(600);
+        let here = ccid::with_site(0xAA, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::USE_AFTER_FREE,
+        )]);
+        unsafe {
+            let l = layout(256, 16);
+            for _ in 0..4 {
+                let p = {
+                    let _site = ccid::CallScope::enter(0xAA);
+                    a.alloc(l)
+                };
+                a.dealloc(p, l);
+            }
+        }
+        let snap = a.telemetry_snapshot();
+        let evicts: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::QuarantineEvict)
+            .collect();
+        assert!(!evicts.is_empty(), "quota forces evictions");
+        for e in evicts {
+            assert_eq!(e.ccid, here, "eviction attributed to its patch");
+            assert_eq!(e.size, 256);
+        }
+        let st = a.stats();
+        assert_eq!(st.quarantined_bytes, 4 * 256);
+        assert_eq!(
+            st.quarantined_bytes,
+            st.evicted_bytes + a.quarantine_usage().1 as u64,
+            "byte conservation through evictions"
+        );
+    }
+
+    #[test]
+    fn quarantine_quota_is_honored_with_remainder() {
+        // End-to-end satellite regression: a quota that is not a multiple
+        // of the shard count must still be reachable within one block size
+        // per shard (the old `quota / 8` truncation lost the remainder and
+        // let a saturated shard evict early).
+        let a = HardenedAlloc::new();
+        let quota = 2055; // 8 * 256 + 7
+        a.set_quarantine_quota(quota);
+        let here = ccid::with_site(0xBB, ccid::current);
+        a.install(&[PatchEntry::new(
+            AllocFn::Malloc,
+            here,
+            VulnFlags::USE_AFTER_FREE,
+        )]);
+        unsafe {
+            // Hold all allocations live first so 200 *distinct* pointers
+            // are pushed, spreading across every quarantine shard.
+            let l = layout(64, 8);
+            let ptrs: Vec<*mut u8> = (0..200)
+                .map(|_| {
+                    let _site = ccid::CallScope::enter(0xBB);
+                    a.alloc(l)
+                })
+                .collect();
+            for p in ptrs {
+                a.dealloc(p, l);
+            }
+        }
+        let (_, bytes) = a.quarantine_usage();
+        assert!(bytes <= quota);
+        assert!(
+            bytes + 8 * 64 > quota,
+            "usage {bytes} cannot reach quota {quota} within one 64-byte \
+             block per shard"
+        );
+        let st = a.stats();
+        assert_eq!(st.quarantined_bytes, 200 * 64);
+        assert_eq!(st.quarantined_bytes, st.evicted_bytes + bytes as u64);
     }
 }

@@ -113,6 +113,9 @@ pub(crate) const REGISTRY_SHARD_CAP: usize = 256;
 #[cfg(test)]
 pub(crate) const REGISTRY_CAP: usize = REGISTRY_SHARDS * REGISTRY_SHARD_CAP;
 
+/// Sentinel for [`Entry::slot`]: the allocation has no patch-table slot.
+pub(crate) const NO_PATCH_SLOT: u32 = u32::MAX;
+
 /// What the registry remembers about one live *patched* allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Entry {
@@ -124,6 +127,9 @@ pub(crate) struct Entry {
     pub region_len: usize,
     /// The vulnerability bits this allocation was enhanced with.
     pub vuln: u8,
+    /// Patch-table slot that matched at allocation time (telemetry
+    /// attribution on the free path), or [`NO_PATCH_SLOT`].
+    pub slot: u32,
     /// Original layout size (for quarantine accounting / system dealloc).
     pub size: usize,
     /// Original layout alignment.
@@ -138,6 +144,7 @@ const EMPTY_ENTRY: Entry = Entry {
     region: 0,
     region_len: 0,
     vuln: 0,
+    slot: NO_PATCH_SLOT,
     size: 0,
     align: 0,
 };
@@ -326,8 +333,10 @@ impl QuarantineShard {
 /// Sharded fixed-capacity FIFO of deferred frees.
 ///
 /// A freed pointer lands in the shard its hash selects; FIFO age ordering
-/// and the byte quota hold **per shard** (the quota is split evenly), so a
-/// push only ever touches one shard lock. Global usage is the merged sum.
+/// and the byte quota hold **per shard**, so a push only ever touches one
+/// shard lock. The global quota is split across shards with the division
+/// remainder spread over the low shards, so the per-shard quotas sum to
+/// exactly the configured global quota. Global usage is the merged sum.
 pub(crate) struct QuarantineRing {
     shards: [QuarantineShard; QUARANTINE_SHARDS],
 }
@@ -358,8 +367,12 @@ impl QuarantineRing {
     /// Pushes a block; returns up to two entries that must be released now
     /// (per-shard quota or capacity overflow), oldest-in-shard first.
     pub(crate) fn push(&self, e: Entry, quota: usize) -> [Option<Entry>; 2] {
-        let shard = &self.shards[Self::shard_of(e.ptr)];
-        let shard_quota = quota / QUARANTINE_SHARDS;
+        let si = Self::shard_of(e.ptr);
+        let shard = &self.shards[si];
+        // Truncating `quota / SHARDS` alone would silently shrink the
+        // global quota by up to SHARDS-1 bytes; hand the remainder out one
+        // byte per low shard so the per-shard quotas sum to `quota`.
+        let shard_quota = quota / QUARANTINE_SHARDS + usize::from(si < quota % QUARANTINE_SHARDS);
         let _g = shard.lock.lock();
         let st = unsafe { &mut *shard.state.get() };
         let mut out = [None, None];
@@ -422,6 +435,7 @@ mod tests {
             region: 0,
             region_len: 0,
             vuln: 0,
+            slot: NO_PATCH_SLOT,
             size,
             align: 8,
         }
@@ -544,6 +558,41 @@ mod tests {
         let evicted = q.push(e(1, 60), 800);
         assert_eq!(evicted[0].map(|x| x.ptr), Some(1));
         assert_eq!(q.usage(), (1, 60));
+    }
+
+    #[test]
+    fn ring_reaches_the_exact_configured_quota() {
+        // Regression: the quota used to be split as `quota / 8` per shard,
+        // truncating the remainder — a 500-byte quota effectively became
+        // 496. With 1-byte blocks each shard saturates at exactly its
+        // slice, so the merged steady-state usage must equal the global
+        // quota, remainder included.
+        let quota = 500; // 500 = 8 * 62 + 4: four shards get 63, four get 62
+        let q = QuarantineRing::new();
+        for i in 1..=4096usize {
+            let _ = q.push(e(i * 8, 1), quota);
+        }
+        let (_, bytes) = q.usage();
+        assert_eq!(bytes, quota, "remainder bytes distributed across shards");
+    }
+
+    #[test]
+    fn ring_quota_remainder_lands_on_low_shards() {
+        // quota 7 with 8 shards: shards 0..6 may hold one 1-byte block,
+        // shard 7 none at all.
+        let q = QuarantineRing::new();
+        let ptr_in = |shard: usize| {
+            (1..)
+                .map(|i| i * 8)
+                .find(|&p| QuarantineRing::shard_of(p) == shard)
+                .unwrap()
+        };
+        for shard in 0..QUARANTINE_SHARDS {
+            let evicted = q.push(e(ptr_in(shard), 1), 7);
+            let held = evicted[0].is_none();
+            assert_eq!(held, shard < 7, "shard {shard}");
+        }
+        assert_eq!(q.usage().1, 7);
     }
 
     #[test]

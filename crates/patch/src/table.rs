@@ -93,6 +93,20 @@ impl PatchTable {
         None
     }
 
+    /// The slot index of `(fun, ccid)`: its position in the sorted entry
+    /// list. A dense, stable per-patch key — telemetry counters and
+    /// once-bit report masks are keyed by it.
+    pub fn slot_index(&self, fun: AllocFn, ccid: u64) -> Option<usize> {
+        self.entries
+            .binary_search_by_key(&(fun, ccid), |&(f, c, _)| (f, c))
+            .ok()
+    }
+
+    /// The entry at [slot index](Self::slot_index) `i`.
+    pub fn entry(&self, i: usize) -> Option<(AllocFn, u64, VulnFlags)> {
+        self.entries.get(i).copied()
+    }
+
     /// Number of distinct `(FUN, CCID)` entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -199,6 +213,30 @@ mod tests {
             ],
             "iteration order is sorted (FUN, CCID), not hash order"
         );
+    }
+
+    #[test]
+    fn slot_index_is_the_sorted_position() {
+        let t = PatchTable::from_patches([
+            Patch::new(AllocFn::Realloc, 2, VulnFlags::ALL),
+            Patch::new(AllocFn::Malloc, 5, VulnFlags::USE_AFTER_FREE),
+            Patch::new(AllocFn::Malloc, 1, VulnFlags::OVERFLOW),
+        ]);
+        assert_eq!(t.slot_index(AllocFn::Malloc, 1), Some(0));
+        assert_eq!(t.slot_index(AllocFn::Malloc, 5), Some(1));
+        assert_eq!(t.slot_index(AllocFn::Realloc, 2), Some(2));
+        assert_eq!(t.slot_index(AllocFn::Malloc, 2), None);
+        assert_eq!(
+            t.entry(2),
+            Some((AllocFn::Realloc, 2, VulnFlags::ALL)),
+            "entry() resolves the slot back to the patch"
+        );
+        assert_eq!(t.entry(3), None);
+        // slot_index and lookup agree on every entry.
+        for (i, (f, c, v)) in t.iter().enumerate() {
+            assert_eq!(t.slot_index(f, c), Some(i));
+            assert_eq!(t.lookup(f, c), Some(v));
+        }
     }
 
     #[test]

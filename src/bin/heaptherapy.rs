@@ -6,6 +6,7 @@
 //! heaptherapy analyze <app> [--out patches.conf] [--scheme pcc|positional|additive]
 //! heaptherapy protect <app> --patches patches.conf [--attack N]
 //! heaptherapy demo <app>
+//! heaptherapy report <app> [--json] [--scheme pcc|positional|additive]
 //! heaptherapy decode <app> --fun malloc --ccid 0x1f3a [--scheme additive]
 //! heaptherapy lint <app> [--strategy fcs|tcs|slim|incremental] [--scheme pcc|positional|additive]
 //! heaptherapy instrument <app> [--strategy fcs|tcs|slim|incremental]
@@ -213,6 +214,34 @@ fn cmd_demo(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_report(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| find_app(n)) else {
+        eprintln!("unknown app; try `heaptherapy list`");
+        return ExitCode::from(2);
+    };
+    let ht = pipeline(args);
+    match ht.attack_telemetry(&app) {
+        Ok(tel) => {
+            if args.flag("json").is_some() {
+                use heaptherapy_plus::jsonio::ToJson;
+                println!("{}", tel.to_json().to_pretty());
+            } else {
+                print!("{tel}");
+            }
+            if tel.reports.is_empty() {
+                eprintln!("no defense activated — no attack report filed");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_decode(args: &Args) -> ExitCode {
     let Some(app) = args.positional.get(1).and_then(|n| find_app(n)) else {
         eprintln!("unknown app; try `heaptherapy list`");
@@ -327,12 +356,13 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args),
         Some("protect") => cmd_protect(&args),
         Some("demo") => cmd_demo(&args),
+        Some("report") => cmd_report(&args),
         Some("decode") => cmd_decode(&args),
         Some("lint") => cmd_lint(&args),
         Some("instrument") => cmd_instrument(&args),
         _ => {
             eprintln!(
-                "usage: heaptherapy <list|analyze|protect|demo|decode|lint|instrument> [app] \
+                "usage: heaptherapy <list|analyze|protect|demo|report|decode|lint|instrument> [app] \
                  [--scheme pcc|positional|additive] [--strategy fcs|tcs|slim|incremental] \
                  [--out FILE] [--patches FILE] [--ccid HEX] [--fun NAME] [--attack N]"
             );

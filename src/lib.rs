@@ -22,6 +22,8 @@
 //!   guard pages, deferred free, zero-init).
 //! * [`hardened_alloc`] — a real `GlobalAlloc` carrying the same defenses on
 //!   actual process memory.
+//! * [`telemetry`] — runtime attack telemetry: the lock-free event ring,
+//!   per-patch hit counters, one-time attack reports, and phase timings.
 //! * [`vulnapps`] — modeled vulnerable programs reproducing the paper's
 //!   Table II suite.
 //! * [`analysis`] — static vulnerability triage (interval-domain abstract
@@ -50,8 +52,10 @@ pub use ht_callgraph as callgraph;
 pub use ht_defense as defense;
 pub use ht_encoding as encoding;
 pub use ht_hardened_alloc as hardened_alloc;
+pub use ht_jsonio as jsonio;
 pub use ht_memsim as memsim;
 pub use ht_patch as patch;
 pub use ht_shadow as shadow;
 pub use ht_simprog as simprog;
+pub use ht_telemetry as telemetry;
 pub use ht_vulnapps as vulnapps;

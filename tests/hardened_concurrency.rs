@@ -1,7 +1,9 @@
 //! Threaded stress and property coverage for the sharded hardened
 //! allocator: with 8 threads hammering patched and unpatched contexts, the
 //! registry never loses or corrupts a live pointer, and the striped
-//! counters conserve (allocs = frees, registry inserts = removes + live).
+//! counters conserve (allocs = frees, registry inserts = removes + live,
+//! quarantined bytes = evicted bytes + bytes still held) — including under
+//! eviction-heavy quarantine quotas and with telemetry armed.
 //!
 //! Everything goes through the public API plus the safe
 //! [`throughput`](heaptherapy_plus::hardened_alloc::throughput) drivers —
@@ -109,6 +111,57 @@ fn threaded_batches_never_lose_or_corrupt_live_pointers() {
     assert_eq!(rs.inserts, (THREADS * 4 * COUNT) as u64);
 }
 
+/// 8 threads of use-after-free frees against a deliberately tiny quarantine
+/// quota: blocks cycle through quarantine and back out to the system
+/// allocator, the byte ledger conserves exactly, and armed telemetry
+/// counts every patched allocation and files the UAF report exactly once.
+#[test]
+fn eviction_heavy_quarantine_conserves_bytes_and_reports_once() {
+    const THREADS: usize = 8;
+    const PAIRS: u64 = 512;
+    const SIZE: usize = 128;
+    const QUOTA: usize = 1024; // a handful of 128 B blocks across 8 shards
+    let a = patched_alloc();
+    a.set_quarantine_quota(QUOTA);
+    a.set_telemetry(true);
+
+    ht_par::par_spawn(THREADS, |_| {
+        throughput::hardened_pairs(&a, PAIRS, SIZE, Some(UAF_SITE), 1);
+    });
+
+    let st = a.stats();
+    let total = THREADS as u64 * PAIRS;
+    assert_eq!(st.quarantined, total, "every free was deferred");
+    assert!(st.evictions > 0, "tiny quota must evict: {st:?}");
+    let (_, held_bytes) = a.quarantine_usage();
+    assert!(held_bytes <= QUOTA, "usage {held_bytes} over quota {QUOTA}");
+    assert_eq!(
+        st.quarantined_bytes,
+        st.evicted_bytes + held_bytes as u64,
+        "deferred bytes either evicted or still held"
+    );
+
+    let snap = a.telemetry_snapshot();
+    // Striped counters are exact even though the 1024-slot ring overflowed.
+    assert_eq!(snap.per_patch.iter().map(|p| p.hits).sum::<u64>(), total);
+    assert_eq!(
+        snap.per_patch.iter().map(|p| p.bytes).sum::<u64>(),
+        total * SIZE as u64
+    );
+    // Ring accounting is exact too: per pair one patch-hit and one defer
+    // event, plus one evict event per eviction and the single UAF report.
+    assert!(
+        snap.dropped > 0,
+        "workload must overflow the ring: {snap:?}"
+    );
+    assert_eq!(
+        snap.delivered + snap.dropped,
+        2 * total + st.evictions + 1,
+        "every event either delivered or counted as dropped"
+    );
+    assert_eq!(snap.reports.len(), 1, "one UAF report, filed exactly once");
+}
+
 /// One thread's mixed workload, used as the proptest unit below.
 #[derive(Debug, Clone, Copy)]
 struct Workload {
@@ -131,17 +184,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Whatever mix of patched/unpatched workloads runs on however many
-    /// threads, the allocator's books balance afterwards.
+    /// threads — under the default quota or an eviction-heavy tiny one,
+    /// with telemetry armed or off — the allocator's books balance
+    /// afterwards, down to the byte.
     #[test]
     fn stats_conservation_holds_for_arbitrary_threaded_workloads(
         workloads in proptest::collection::vec(arb_workload(), 1..6),
+        quota in prop_oneof![
+            Just(usize::MAX),    // effectively unlimited: nothing evicts
+            512usize..4096,      // eviction-heavy: most deferred frees cycle out
+        ],
+        telemetry in any::<bool>(),
     ) {
         let a = patched_alloc();
+        a.set_quarantine_quota(quota);
+        a.set_telemetry(telemetry);
         let expected_allocs: u64 = workloads.iter().map(|w| w.pairs).sum();
         let expected_hits: u64 = workloads
             .iter()
             .filter(|w| w.site.is_some())
             .map(|w| w.pairs.div_ceil(w.every))
+            .sum();
+        let expected_patched_bytes: u64 = workloads
+            .iter()
+            .filter(|w| w.site.is_some())
+            .map(|w| w.pairs.div_ceil(w.every) * w.size as u64)
             .sum();
         // UR-only buffers are zeroed in place, never registered.
         let expected_registered: u64 = workloads
@@ -165,10 +232,35 @@ proptest! {
         );
         prop_assert!(st.evictions <= st.quarantined);
         prop_assert_eq!(st.fail_open, 0);
+        // Byte conservation: whatever the quota forced out plus whatever is
+        // still held is exactly what was deferred.
+        let (_, held_bytes) = a.quarantine_usage();
+        prop_assert_eq!(st.quarantined_bytes, st.evicted_bytes + held_bytes as u64);
+        if quota != usize::MAX {
+            prop_assert!(held_bytes <= quota);
+        } else {
+            prop_assert_eq!(st.evictions, 0);
+        }
 
         let rs = a.registry_stats();
         prop_assert_eq!(rs.inserts, rs.removes + rs.live());
         prop_assert_eq!(rs.live(), 0);
         prop_assert_eq!(rs.inserts, expected_registered);
+
+        // Telemetry's striped counters are exact (the ring may drop under
+        // load; the counters never do), and disabled telemetry sees nothing.
+        let snap = a.telemetry_snapshot();
+        if telemetry {
+            prop_assert_eq!(
+                snap.per_patch.iter().map(|p| p.hits).sum::<u64>(),
+                expected_hits
+            );
+            prop_assert_eq!(
+                snap.per_patch.iter().map(|p| p.bytes).sum::<u64>(),
+                expected_patched_bytes
+            );
+        } else {
+            prop_assert!(snap.is_empty());
+        }
     }
 }
